@@ -1,0 +1,64 @@
+"""Ablation: which 1-D publisher should supply DPCopula's DP margins?
+
+Section 4.1 notes DPCopula "can take advantage of any existing methods to
+compute DP marginal histograms" and the paper picks EFPA.  This bench
+swaps the margin publisher (EFPA / identity / NoiseFirst /
+StructureFirst / Privelet) inside DPCopula-Kendall on a smooth
+(gaussian) and a spiky (zipf) margin family and reports the end-to-end
+range-query error of the synthetic data.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import average_evaluation, make_method
+from repro.queries.range_query import random_workload
+
+PUBLISHERS = (
+    "efpa",
+    "identity",
+    "noisefirst",
+    "structurefirst",
+    "privelet",
+    "hierarchical",
+)
+
+
+def _run(scale):
+    result = FigureResult(
+        "ablation-margins",
+        "DPCopula-Kendall error by margin publisher",
+        {"n": scale.n_records, "domain": scale.domain_size, "epsilon": 0.5},
+    )
+    correlation = random_correlation_matrix(4, rng=1, strength=0.6)
+    for margins in ("gaussian", "zipf"):
+        spec = SyntheticSpec(
+            n_records=scale.n_records,
+            domain_sizes=(scale.domain_size,) * 4,
+            margins=margins,
+            correlation=correlation,
+        )
+        data = gaussian_dependence_data(spec, rng=2)
+        workload = random_workload(data.schema, scale.n_queries, rng=3)
+        for name in PUBLISHERS:
+            method = make_method("dpcopula-kendall", margin_publisher=name)
+            timed = average_evaluation(
+                method, data, workload, epsilon=0.5, n_runs=scale.n_runs, rng=4
+            )
+            result.add(
+                margins, name, "relative_error", timed.evaluation.mean_relative_error
+            )
+    return result
+
+
+def bench_ablation_margin_publishers(benchmark, bench_scale):
+    result = run_once(benchmark, _run, bench_scale)
+    print()
+    print(result.to_table())
+    assert set(result.methods()) == set(PUBLISHERS)

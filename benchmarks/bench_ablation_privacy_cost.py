@@ -1,0 +1,68 @@
+"""Ablation: the cost of privacy — DPCopula vs the noise-free copula.
+
+The non-private Gaussian copula model (same margins machinery, same
+estimate-transform-sample pipeline, zero noise) is the utility ceiling
+of the whole approach; the gap to it at each ε is the price of the
+privacy guarantee, and the residual error of the ceiling itself is the
+price of the Gaussian-copula modelling assumption.
+"""
+
+from conftest import run_once
+
+from repro.core.copula import GaussianCopulaModel
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import average_evaluation, make_method
+from repro.queries.evaluation import evaluate_workload
+from repro.queries.range_query import random_workload
+
+
+def _run(scale):
+    correlation = random_correlation_matrix(4, rng=10, strength=0.6)
+    spec = SyntheticSpec(
+        n_records=scale.n_records,
+        domain_sizes=(scale.domain_size,) * 4,
+        correlation=correlation,
+    )
+    data = gaussian_dependence_data(spec, rng=11)
+    workload = random_workload(data.schema, scale.n_queries, rng=12)
+    result = FigureResult(
+        "ablation-privacy-cost",
+        "DPCopula vs the non-private copula ceiling",
+        {"n": scale.n_records, "domain": scale.domain_size},
+    )
+    for epsilon in (0.1, 0.5, 1.0, 4.0):
+        timed = average_evaluation(
+            make_method("dpcopula-kendall"),
+            data,
+            workload,
+            epsilon,
+            n_runs=scale.n_runs,
+            rng=13,
+        )
+        result.add(
+            epsilon, "dpcopula-kendall", "relative_error",
+            timed.evaluation.mean_relative_error,
+        )
+    ceiling = GaussianCopulaModel().fit(data).sample(rng=14)
+    evaluation = evaluate_workload(ceiling, workload, data)
+    for epsilon in (0.1, 0.5, 1.0, 4.0):
+        result.add(
+            epsilon, "non-private copula", "relative_error",
+            evaluation.mean_relative_error,
+        )
+    return result
+
+
+def bench_ablation_privacy_cost(benchmark, bench_scale):
+    result = run_once(benchmark, _run, bench_scale)
+    print()
+    print(result.to_table())
+    # The ceiling should be at least as accurate as every private run.
+    private = [v for _, v in result.series("dpcopula-kendall", "relative_error")]
+    ceiling = result.series("non-private copula", "relative_error")[0][1]
+    assert ceiling <= min(private) + 1e-9

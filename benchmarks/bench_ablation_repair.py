@@ -1,0 +1,68 @@
+"""Ablation: eigenvalue repair (Algorithm 5, step 3) vs Higham projection.
+
+At small ε₂ the noisy matrix sin(π/2·τ̃) is frequently indefinite; the
+repair choice is a design decision DESIGN.md calls out.  This bench
+compares how far each repaired matrix lands from the true correlation,
+and how often repair triggers at all.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.kendall_matrix import dp_kendall_correlation
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.experiments.figures import FigureResult
+from repro.stats.correlation import correlation_from_tau
+from repro.stats.kendall import kendall_tau_matrix
+from repro.stats.psd_repair import is_positive_definite
+
+EPSILON2 = 0.02  # small enough that indefiniteness actually occurs
+RUNS = 10
+
+
+def _run(scale):
+    m = 6
+    correlation = random_correlation_matrix(m, rng=7, strength=0.7)
+    spec = SyntheticSpec(
+        n_records=5_000,
+        domain_sizes=(scale.domain_size,) * m,
+        correlation=correlation,
+    )
+    data = gaussian_dependence_data(spec, rng=8)
+    result = FigureResult(
+        "ablation-repair",
+        "PD repair method vs correlation accuracy",
+        {"m": m, "epsilon2": EPSILON2},
+    )
+    # How often does the raw noisy matrix even need repair?
+    raw_tau = kendall_tau_matrix(data.values[:2000])
+    broken = 0
+    rng = np.random.default_rng(9)
+    for _ in range(RUNS):
+        noisy = raw_tau + rng.laplace(0, 0.4, size=raw_tau.shape)
+        noisy = np.clip((noisy + noisy.T) / 2, -1, 1)
+        np.fill_diagonal(noisy, 1.0)
+        if not is_positive_definite(correlation_from_tau(noisy)):
+            broken += 1
+    result.add("indefinite_rate", "raw", "fraction", broken / RUNS)
+
+    for repair in ("eigenvalue", "higham"):
+        errors = []
+        for seed in range(RUNS):
+            estimate = dp_kendall_correlation(
+                data.values, EPSILON2, rng=seed, subsample=2000, repair=repair
+            )
+            errors.append(float(np.abs(estimate - correlation).max()))
+        result.add("error", repair, "max_matrix_error", float(np.mean(errors)))
+    return result
+
+
+def bench_ablation_pd_repair(benchmark, bench_scale):
+    result = run_once(benchmark, _run, bench_scale)
+    print()
+    print(result.to_table())
+    assert "eigenvalue" in result.methods() and "higham" in result.methods()

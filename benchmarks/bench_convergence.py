@@ -1,0 +1,60 @@
+"""Section 4.3: the convergence theorem, measured.
+
+Theorem 4.3 says the DPCopula-Kendall synthetic distribution converges
+to the original joint distribution as n grows with ε fixed.  This bench
+runs the empirical convergence study (margin sup-distance, Kendall
+matrix error, Monte-Carlo joint-CDF distance) over a cardinality sweep
+and prints the series; all three distances should fall.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.convergence import run_convergence_study
+from repro.core.dpcopula import DPCopulaKendall
+from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+from repro.experiments.figures import FigureResult
+
+CORRELATION = np.array(
+    [[1.0, 0.6, 0.3], [0.6, 1.0, 0.4], [0.3, 0.4, 1.0]]
+)
+CARDINALITIES = (500, 2_000, 8_000, 32_000)
+
+
+def _make_dataset(n):
+    spec = SyntheticSpec(
+        n_records=n, domain_sizes=(100, 100, 100), correlation=CORRELATION
+    )
+    return gaussian_dependence_data(spec, rng=0)
+
+
+def _run(scale):
+    points = run_convergence_study(
+        CARDINALITIES,
+        make_dataset=_make_dataset,
+        make_synthesizer=lambda: DPCopulaKendall(
+            epsilon=1.0, subsample=None, rng=1
+        ),
+        rng=2,
+    )
+    result = FigureResult(
+        "convergence",
+        "Theorem 4.3: synthetic-vs-original distances vs cardinality",
+        {"epsilon": 1.0, "m": 3},
+    )
+    for point in points:
+        result.add(point.n_records, "dpcopula-kendall", "margin_sup_distance",
+                   point.margin_sup_distance)
+        result.add(point.n_records, "dpcopula-kendall", "tau_error",
+                   point.tau_error)
+        result.add(point.n_records, "dpcopula-kendall", "joint_cdf_sup_distance",
+                   point.joint_cdf_sup_distance)
+    return result
+
+
+def bench_convergence_theorem(benchmark, bench_scale):
+    result = run_once(benchmark, _run, bench_scale)
+    print()
+    print(result.to_table())
+    margins = [v for _, v in result.series("dpcopula-kendall", "margin_sup_distance")]
+    assert margins[-1] < margins[0], "margin distance must shrink with n"

@@ -1,0 +1,54 @@
+"""Extension bench: the extra baselines beyond the paper's comparison.
+
+DPCube (cited by the paper as comparable to PSD) and the Qardaji
+UG/AG grids (cited as the 2-D specialists) against DPCopula and PSD on
+the 2-D workload where all of them apply.  This quantifies the paper's
+two side-claims: DPCube ≈ PSD, and grids are strong specifically in 2-D.
+"""
+
+from conftest import run_once
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import average_evaluation, make_method
+from repro.queries.range_query import random_workload
+
+METHODS = ("dpcopula-kendall", "psd", "dpcube", "ug", "ag")
+
+
+def _run(scale):
+    correlation = random_correlation_matrix(2, rng=20, strength=0.6)
+    spec = SyntheticSpec(
+        n_records=scale.n_records,
+        domain_sizes=(scale.domain_size,) * 2,
+        correlation=correlation,
+    )
+    data = gaussian_dependence_data(spec, rng=21)
+    workload = random_workload(data.schema, scale.n_queries, rng=22)
+    result = FigureResult(
+        "extra-baselines",
+        "2D: DPCopula vs PSD vs DPCube vs UG vs AG",
+        {"n": scale.n_records, "domain": scale.domain_size},
+    )
+    for epsilon in (0.1, 1.0):
+        for name in METHODS:
+            method = make_method(name)
+            timed = average_evaluation(
+                method, data, workload, epsilon, n_runs=scale.n_runs, rng=23
+            )
+            result.add(
+                epsilon, name, "relative_error",
+                timed.evaluation.mean_relative_error,
+            )
+    return result
+
+
+def bench_extra_baselines(benchmark, bench_scale):
+    result = run_once(benchmark, _run, bench_scale)
+    print()
+    print(result.to_table())
+    assert set(result.methods()) == set(METHODS)

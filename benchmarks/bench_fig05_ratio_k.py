@@ -1,0 +1,23 @@
+"""Figure 5: relative error vs. the budget ratio k (2-D synthetic data).
+
+Expected shape: error falls as k rises toward 1, then plateaus — giving
+the margins at least as much budget as the coefficients is what matters,
+and the method is insensitive to k beyond that.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig05_ratio_k
+
+
+def bench_fig05_ratio_k(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        fig05_ratio_k,
+        scale=bench_scale,
+        ks=(0.125, 0.5, 1.0, 4.0, 8.0, 32.0),
+        epsilons=(0.1, 1.0),
+    )
+    print()
+    print(result.to_table())
+    assert result.points, "figure produced no data"

@@ -1,0 +1,17 @@
+"""Figure 6: DPCopula-Kendall vs DPCopula-MLE — error (a) and runtime (b).
+
+Expected shape: Kendall's error at or below MLE's at every
+dimensionality; both runtimes grow roughly quadratically with m, with
+the sampling optimisation keeping Kendall competitive.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig06_kendall_vs_mle
+
+
+def bench_fig06_kendall_vs_mle(benchmark, bench_scale):
+    result = run_once(benchmark, fig06_kendall_vs_mle, scale=bench_scale)
+    print()
+    print(result.to_table())
+    assert set(result.metrics()) == {"relative_error", "seconds"}

@@ -1,0 +1,40 @@
+"""Figure 7: relative error vs. privacy budget on the census datasets.
+
+(a) US census (4 attributes, simulated): DPCopula-hybrid vs PSD, FP,
+    Privelet+ and P-HP (dense baselines run on a coarsened grid — the
+    paper likewise drops grid-input methods where bins explode);
+(b) Brazil census (8 attributes, simulated): DPCopula-hybrid vs the
+    point-input baselines (the 1.8·10^11-cell grid is unmaterializable,
+    as in the paper).
+
+Expected shape: DPCopula below every baseline, gap widening as ε shrinks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig07_census
+
+
+def bench_fig07a_us_census(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        fig07_census,
+        "us",
+        scale=bench_scale.with_(n_records=10_000, n_queries=40),
+        dense_max_domain=128,
+    )
+    print()
+    print(result.to_table())
+    assert "dpcopula-hybrid" in result.methods()
+
+
+def bench_fig07b_brazil_census(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        fig07_census,
+        "brazil",
+        scale=bench_scale.with_(n_records=10_000, n_queries=40),
+    )
+    print()
+    print(result.to_table())
+    assert "dpcopula-hybrid" in result.methods()

@@ -1,0 +1,23 @@
+"""Figure 8: query accuracy vs. query range size (2-D synthetic, ε = 0.1).
+
+Expected shape: relative error falls with range size while absolute
+error rises (small ranges have tiny true answers); DPCopula below PSD
+and P-HP throughout.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig08_range_size
+
+
+def bench_fig08_range_size(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        fig08_range_size,
+        scale=bench_scale,
+        epsilon=0.1,
+        selectivities=(1e-4, 1e-3, 1e-2, 0.05, 0.25),
+    )
+    print()
+    print(result.to_table())
+    assert set(result.metrics()) == {"relative_error", "absolute_error"}

@@ -1,0 +1,18 @@
+"""Figure 10: query accuracy vs. dimensionality (2-D to 8-D, |A_i| fixed).
+
+Expected shape: both relative and absolute error grow with m for both
+methods (sparser data, thinner per-piece budget slices); DPCopula stays
+below PSD with a widening gap.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig10_dimensionality
+
+
+def bench_fig10_dimensionality(benchmark, bench_scale):
+    result = run_once(benchmark, fig10_dimensionality, scale=bench_scale)
+    print()
+    print(result.to_table())
+    xs = [x for x, _ in result.series("dpcopula-kendall", "relative_error")]
+    assert xs == list(bench_scale.dimensions)

@@ -1,0 +1,22 @@
+"""Figure 11: fit runtime vs. cardinality (a) and dimensionality (b).
+
+Expected shape: every method roughly linear in n; DPCopula quadratic but
+mild in m (the sampling optimisation bounds the Kendall cost); PSD
+unaffected by domain size thanks to its point input.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig11_scalability
+
+
+def bench_fig11_scalability(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        fig11_scalability,
+        scale=bench_scale.with_(n_records=8_000),
+        cardinalities=(2_000, 4_000, 8_000, 16_000),
+    )
+    print()
+    print(result.to_table())
+    assert set(result.metrics()) == {"seconds_vs_n", "seconds_vs_m"}

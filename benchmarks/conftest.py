@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one figure (or ablation) of the paper at a
+reduced-but-representative scale, prints the series table it produced
+(the same rows the paper plots), and reports the wall-clock cost through
+pytest-benchmark.  ``ExperimentScale.paper()`` reproduces the original
+evaluation's parameters when you have the time budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+# One shared scale keeps the whole suite comparable and quick (~minutes).
+BENCH_SCALE = ExperimentScale(
+    n_records=5_000,
+    n_queries=60,
+    n_runs=1,
+    domain_size=200,
+    dimensions=(2, 4, 6, 8),
+    epsilons=(0.1, 0.5, 1.0),
+    base_seed=20140324,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Conditional synthesis and released-model persistence.
+
+Two capabilities the copula representation provides as pure
+post-processing of one DP release:
+
+1. persist the fitted model (`ReleasedModel`) and re-sample it later —
+   the original data never needs to be touched again;
+2. sample *conditionally*: hold some attributes fixed and draw the rest
+   from their conditional distribution (DP imputation / scenario
+   generation).
+
+Run:  python examples/conditional_sampling.py
+"""
+
+import numpy as np
+
+from repro import ReleasedModel, us_census
+from repro.core.conditional import ConditionalCopulaSampler
+from repro.core.dpcopula import DPCopulaKendall
+
+
+def main() -> None:
+    original = us_census(n_records=20_000)
+    # Model the three large-domain attributes (the binary one would go
+    # through the hybrid path; see examples/census_synthesis.py).
+    large = original.project([0, 1, 2])  # age, income, occupation
+
+    synthesizer = DPCopulaKendall(epsilon=1.0, rng=0).fit(large)
+    print("fitted DPCopula on", large)
+    print(np.round(synthesizer.correlation_, 3))
+    print()
+
+    # --- persistence: one release, unlimited sampling -----------------
+    model = ReleasedModel.from_synthesizer(synthesizer)
+    model.save("/tmp/us_census_release.npz")
+    reloaded = ReleasedModel.load("/tmp/us_census_release.npz")
+    print(f"released model persisted and reloaded "
+          f"(epsilon={reloaded.epsilon}, n={reloaded.n_records})")
+    print()
+
+    # --- conditional synthesis ----------------------------------------
+    sampler = ConditionalCopulaSampler.from_synthesizer(synthesizer)
+    print(f"{'fixed age':>10}  {'mean income code (synthetic)':>29}")
+    for age in (20, 40, 60, 80):
+        conditioned = sampler.sample(4000, given={"age": age}, rng=age)
+        print(f"{age:>10}  {conditioned.column(1).mean():>29.1f}")
+    print()
+    print("Income rises with the conditioned age — the DP correlation")
+    print("matrix carries the age-income dependence into every")
+    print("conditional query, without further privacy cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Convergence of DPCopula (Theorem 4.3), measured empirically.
+
+The paper proves that at fixed ε the DPCopula-Kendall synthetic
+distribution converges to the original joint distribution as the
+cardinality n grows: the fixed-scale Laplace noise is amortized by
+growing counts (margins) and the 4/(n+1) sensitivity vanishes
+(coefficients).  This example measures three distances at increasing n:
+
+* sup-distance between original and synthetic marginal CDFs;
+* max |Δtau| between the Kendall matrices;
+* Monte-Carlo sup-distance between the joint CDFs.
+
+Run:  python examples/convergence_study.py
+"""
+
+import numpy as np
+
+from repro import DPCopulaKendall, SyntheticSpec, gaussian_dependence_data
+from repro.core.convergence import run_convergence_study
+
+
+def main() -> None:
+    correlation = np.array(
+        [[1.0, 0.6, 0.3], [0.6, 1.0, 0.4], [0.3, 0.4, 1.0]]
+    )
+
+    def make_dataset(n):
+        spec = SyntheticSpec(
+            n_records=n, domain_sizes=(100, 100, 100), correlation=correlation
+        )
+        return gaussian_dependence_data(spec, rng=0)
+
+    cardinalities = [500, 2_000, 8_000, 32_000, 128_000]
+    # subsample=None: the sampling optimisation would freeze the tau
+    # noise at the n̂ level, hiding exactly the n -> infinity behaviour
+    # this study measures.
+    results = run_convergence_study(
+        cardinalities,
+        make_dataset=make_dataset,
+        make_synthesizer=lambda: DPCopulaKendall(
+            epsilon=1.0, subsample=None, rng=1
+        ),
+        rng=2,
+    )
+
+    print(f"{'n':>8}  {'margin sup-dist':>16}  {'max |dtau|':>11}  {'joint sup-dist':>15}")
+    for point in results:
+        print(
+            f"{point.n_records:>8}  {point.margin_sup_distance:>16.4f}  "
+            f"{point.tau_error:>11.4f}  {point.joint_cdf_sup_distance:>15.4f}"
+        )
+    print()
+    print("All three distances shrink as n grows (epsilon fixed at 1.0) —")
+    print("the convergence Theorem 4.3 guarantees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Copula goodness-of-fit: AIC selection between Gaussian and t copulas.
+
+The paper leaves "employing other copula families and ... how to select
+optimal copula functions" as future work (Sections 3.2 and 6); this
+example exercises that extension.  Two datasets are generated — one with
+Gaussian dependence, one with heavy-tailed t-copula dependence — and the
+AIC-based selector picks a family for each.
+
+Run:  python examples/copula_selection.py
+"""
+
+import numpy as np
+from scipy import stats as sps
+
+from repro import SyntheticSpec, gaussian_dependence_data, select_copula
+from repro.core.selection import rank_copulas
+from repro.data.dataset import Dataset, Schema
+
+
+def t_copula_dataset(rho=0.7, df=2.5, n=6000, domain=200, seed=0):
+    """Data whose dependence is a t copula: joint extremes co-occur."""
+    rng = np.random.default_rng(seed)
+    correlation = np.array([[1.0, rho], [rho, 1.0]])
+    normals = rng.multivariate_normal([0, 0], correlation, size=n)
+    chi2 = rng.chisquare(df, size=n)
+    t_samples = normals / np.sqrt(chi2 / df)[:, None]
+    uniforms = sps.t.cdf(t_samples, df)
+    values = np.clip((uniforms * domain).astype(int), 0, domain - 1)
+    return Dataset(values, Schema.from_domain_sizes([domain, domain]))
+
+
+def main() -> None:
+    gaussian_data = gaussian_dependence_data(
+        SyntheticSpec(
+            n_records=6000,
+            domain_sizes=(200, 200),
+            correlation=np.array([[1.0, 0.7], [0.7, 1.0]]),
+        ),
+        rng=1,
+    )
+    heavy_tail_data = t_copula_dataset(seed=2)
+
+    for label, data in [
+        ("gaussian-dependence data", gaussian_data),
+        ("t-copula (heavy tail) data", heavy_tail_data),
+    ]:
+        fit = select_copula(data)
+        scores = rank_copulas(data)
+        print(f"{label}:")
+        for family, aic in sorted(scores.items(), key=lambda kv: kv[1]):
+            marker = " <- selected" if family == fit.name else ""
+            print(f"  AIC[{family:>8}] = {aic:12.1f}{marker}")
+        if fit.name == "t":
+            print(f"  fitted degrees of freedom: {fit.model.df_}")
+        print()
+
+    # The selected model can synthesize directly (non-private here —
+    # wrap in DPCopula for the private pipeline).
+    fit = select_copula(heavy_tail_data)
+    synthetic = fit.model.sample(2000, rng=3)
+    print(f"synthesized {synthetic.n_records} records from the selected "
+          f"{fit.name}-copula model: {synthetic}")
+
+
+if __name__ == "__main__":
+    main()

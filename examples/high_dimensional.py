@@ -1,0 +1,62 @@
+"""High-dimensional, large-domain synthesis — where DPCopula shines.
+
+Eight attributes with 1,000 values each: a domain space of 10^24 cells.
+No histogram-grid method can even materialize its input here (the paper
+makes the same point); DPCopula needs only the m marginal histograms and
+the C(m,2) = 28 pairwise coefficients.
+
+Run:  python examples/high_dimensional.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    DPCopulaKendall,
+    SyntheticSpec,
+    evaluate_workload,
+    gaussian_dependence_data,
+    random_workload,
+)
+from repro.data.synthetic import random_correlation_matrix
+from repro.stats.kendall import kendall_tau_matrix
+
+
+def main() -> None:
+    m, domain = 8, 1000
+    correlation = random_correlation_matrix(m, rng=0, strength=0.6)
+    spec = SyntheticSpec(
+        n_records=50_000,
+        domain_sizes=(domain,) * m,
+        margins="gaussian",
+        correlation=correlation,
+    )
+    original = gaussian_dependence_data(spec, rng=1)
+    print(f"original: {original}")
+    print(f"domain space: {original.schema.domain_space():.3g} cells "
+          f"(a dense histogram would need ~{original.schema.domain_space() * 8:.1g} bytes)")
+    print()
+
+    start = time.perf_counter()
+    synthesizer = DPCopulaKendall(epsilon=1.0, rng=2)
+    synthetic = synthesizer.fit_sample(original)
+    elapsed = time.perf_counter() - start
+    print(f"fit + sample took {elapsed:.1f}s "
+          f"(Kendall subsampling keeps the cost flat in n)")
+    print()
+
+    # Dependence preservation: compare Kendall matrices on subsamples.
+    rng = np.random.default_rng(3)
+    original_tau = kendall_tau_matrix(original.sample(3000, rng).values)
+    synthetic_tau = kendall_tau_matrix(synthetic.sample(3000, rng).values)
+    print("max |tau_original - tau_synthetic| over all 28 pairs: "
+          f"{np.abs(original_tau - synthetic_tau).max():.3f}")
+
+    workload = random_workload(original.schema, 200, rng=4)
+    evaluation = evaluate_workload(synthetic, workload, original)
+    print(f"range-count accuracy: {evaluation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the DPCopula synthesizers.
+
+* :class:`~repro.core.dpcopula.DPCopulaKendall` — Algorithm 4 (noisy
+  Kendall's-tau correlation matrix, Algorithm 5);
+* :class:`~repro.core.dpcopula.DPCopulaMLE` — Algorithm 1 (DP maximum
+  likelihood via subsample-and-aggregate, Algorithm 2);
+* :class:`~repro.core.hybrid.DPCopulaHybrid` — Algorithm 6 (partition on
+  small-domain attributes, run DPCopula per partition);
+* :mod:`~repro.core.sampling` — Algorithm 3 (synthetic-data sampling);
+* :mod:`~repro.core.copula` — non-private Gaussian/t copula models
+  (substrate, plus the paper's future-work extension);
+* :mod:`~repro.core.convergence` — empirical convergence diagnostics for
+  Section 4.3.
+"""
+
+from repro.core.conditional import ConditionalCopulaSampler
+from repro.core.copula import EmpiricalCopulaModel, GaussianCopulaModel, TCopulaModel
+from repro.core.diagnostics import ReleasePlan, compare_methods, plan_release
+from repro.core.dpcopula import DPCopulaKendall, DPCopulaMLE, DPCopulaSynthesizer
+from repro.core.hybrid import DPCopulaHybrid
+from repro.core.kendall_matrix import dp_kendall_correlation, kendall_subsample_size
+from repro.core.margins import DPMargins
+from repro.core.mle import dp_mle_correlation, required_partitions
+from repro.core.sampling import sample_pseudo_copula, sample_synthetic
+from repro.core.selection import select_copula
+from repro.core.streaming import EvolvingDPCopula, epoch_budgets
+
+__all__ = [
+    "DPCopulaSynthesizer",
+    "DPCopulaKendall",
+    "DPCopulaMLE",
+    "DPCopulaHybrid",
+    "DPMargins",
+    "dp_kendall_correlation",
+    "kendall_subsample_size",
+    "dp_mle_correlation",
+    "required_partitions",
+    "sample_synthetic",
+    "sample_pseudo_copula",
+    "GaussianCopulaModel",
+    "TCopulaModel",
+    "EmpiricalCopulaModel",
+    "select_copula",
+    "EvolvingDPCopula",
+    "epoch_budgets",
+    "ConditionalCopulaSampler",
+    "ReleasePlan",
+    "plan_release",
+    "compare_methods",
+]

@@ -1,0 +1,87 @@
+"""Algorithm 3: sampling DP synthetic data from the fitted copula.
+
+Three steps, all pure post-processing of already-private quantities:
+
+1. draw latent vectors from the multivariate Gaussian ``Φ(0, P̃)``
+   (Cholesky factorization of the repaired DP correlation matrix);
+2. push each coordinate through the standard normal CDF, yielding DP
+   pseudo-copula data ``T̃ ∈ [0, 1]^(n × m)`` whose dependence is the
+   Gaussian copula with parameter ``P̃``;
+3. invert the DP empirical marginal distributions, mapping each uniform
+   column back onto its attribute's original domain.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.data.dataset import Dataset, Schema
+from repro.stats.ecdf import HistogramCDF
+from repro.stats.psd_repair import is_positive_definite, make_positive_definite
+from repro.utils import RngLike, as_generator, check_int_at_least, check_matrix_square
+
+
+def sample_pseudo_copula(
+    correlation: np.ndarray,
+    n: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Steps 1a–1b of Algorithm 3: uniform data with Gaussian dependence.
+
+    Returns an ``(n, m)`` array in ``(0, 1)`` whose copula is the
+    Gaussian copula with the given correlation matrix.
+    """
+    correlation = check_matrix_square("correlation", correlation)
+    check_int_at_least("n", n, 1)
+    if not is_positive_definite(correlation):
+        correlation = make_positive_definite(correlation)
+    gen = as_generator(rng)
+    m = correlation.shape[0]
+    cholesky = np.linalg.cholesky(correlation)
+    latent = gen.standard_normal((n, m)) @ cholesky.T
+    return sps.norm.cdf(latent)
+
+
+def sample_synthetic(
+    correlation: np.ndarray,
+    margins: Sequence[HistogramCDF],
+    n: int,
+    schema: Schema,
+    rng: RngLike = None,
+) -> Dataset:
+    """Algorithm 3 end-to-end: DP synthetic records on the original domain.
+
+    Parameters
+    ----------
+    correlation:
+        The DP correlation matrix ``P̃`` (repaired if needed).
+    margins:
+        DP marginal distributions ``F̃_j`` (from :class:`DPMargins`).
+    n:
+        Number of synthetic records to draw.
+    schema:
+        The output schema (for domain validation).
+    """
+    margins = list(margins)
+    correlation = check_matrix_square("correlation", correlation)
+    if len(margins) != correlation.shape[0]:
+        raise ValueError(
+            f"{len(margins)} margins but correlation is "
+            f"{correlation.shape[0]}x{correlation.shape[0]}"
+        )
+    if len(margins) != schema.dimensions:
+        raise ValueError(
+            f"{len(margins)} margins but schema has {schema.dimensions} attributes"
+        )
+    for margin, attribute in zip(margins, schema):
+        if margin.domain_size != attribute.domain_size:
+            raise ValueError(
+                f"margin for {attribute.name!r} covers {margin.domain_size} "
+                f"values but the attribute domain has {attribute.domain_size}"
+            )
+    uniforms = sample_pseudo_copula(correlation, n, rng)
+    columns = [margin.inverse(uniforms[:, j]) for j, margin in enumerate(margins)]
+    return Dataset(np.column_stack(columns), schema)

@@ -1,0 +1,71 @@
+"""AIC-based copula goodness-of-fit selection (paper Section 3.2, future work).
+
+"Actually we can use many approaches to test the goodness-of-fit, such as
+Akaike's Information Criterion (AIC) to identify the best copula."  This
+module implements that extension: fit each candidate copula family to the
+data, score with ``AIC = 2·p − 2·logL`` on the copula likelihood, and
+return the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.copula import GaussianCopulaModel, TCopulaModel
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class CopulaFit:
+    """One candidate's fit: the model, its log-likelihood and AIC."""
+
+    name: str
+    model: object
+    loglikelihood: float
+    aic: float
+
+
+def aic_score(loglikelihood: float, n_parameters: int) -> float:
+    """Akaike's information criterion (lower is better)."""
+    return 2.0 * n_parameters - 2.0 * loglikelihood
+
+
+def select_copula(
+    dataset: Dataset,
+    candidates: Optional[Sequence[str]] = None,
+) -> CopulaFit:
+    """Fit every candidate family and return the AIC-best fit.
+
+    Supported candidates: ``"gaussian"`` and ``"t"``.
+    """
+    if candidates is None:
+        candidates = ("gaussian", "t")
+    fits: List[CopulaFit] = []
+    for name in candidates:
+        family = name.lower()
+        if family == "gaussian":
+            model = GaussianCopulaModel().fit(dataset)
+        elif family == "t":
+            model = TCopulaModel().fit(dataset)
+        else:
+            raise ValueError(f"unknown copula family {name!r}")
+        ll = model.loglikelihood(dataset)
+        fits.append(CopulaFit(family, model, ll, aic_score(ll, model.n_parameters())))
+    if not fits:
+        raise ValueError("no candidate copula families supplied")
+    return min(fits, key=lambda fit: fit.aic)
+
+
+def rank_copulas(
+    dataset: Dataset,
+    candidates: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """AIC of every candidate family, for reporting."""
+    if candidates is None:
+        candidates = ("gaussian", "t")
+    scores: Dict[str, float] = {}
+    for name in candidates:
+        fit = select_copula(dataset, candidates=[name])
+        scores[fit.name] = fit.aic
+    return scores

@@ -1,0 +1,28 @@
+"""Datasets: schema model, synthetic generators, simulated census extracts."""
+
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.data.census import brazil_census, us_census
+from repro.data.discretize import (
+    CategoricalEncoder,
+    ContinuousBinner,
+    TableEncoder,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Dataset",
+    "SyntheticSpec",
+    "gaussian_dependence_data",
+    "random_correlation_matrix",
+    "us_census",
+    "brazil_census",
+    "CategoricalEncoder",
+    "ContinuousBinner",
+    "TableEncoder",
+]

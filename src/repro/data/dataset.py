@@ -1,0 +1,239 @@
+"""Tabular dataset model.
+
+The paper works with integer-coded multi-dimensional data: each attribute
+``A_i`` has a finite ordered domain ``{0, ..., |A_i| - 1}`` (nominal
+attributes are totally ordered first, as in Xiao et al. [39]).  A
+:class:`Dataset` is an ``n × m`` integer matrix plus a :class:`Schema`
+describing the per-attribute domains; everything downstream (histograms,
+copulas, queries) consumes this representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils import check_int_at_least
+
+# Attributes with fewer than this many values cannot be treated as
+# approximately continuous (paper section 4.4) and must go through the
+# hybrid partitioning path.
+SMALL_DOMAIN_THRESHOLD = 10
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with an integer domain ``{0, ..., domain_size-1}``."""
+
+    name: str
+    domain_size: int
+
+    def __post_init__(self) -> None:
+        check_int_at_least(f"domain size of {self.name!r}", self.domain_size, 1)
+
+    @property
+    def is_small_domain(self) -> bool:
+        """True when the domain is too small for the copula approximation."""
+        return self.domain_size < SMALL_DOMAIN_THRESHOLD
+
+    def contains(self, values: np.ndarray) -> bool:
+        """Whether every entry of ``values`` lies in this attribute's domain."""
+        values = np.asarray(values)
+        return bool(values.size == 0 or ((values >= 0) & (values < self.domain_size)).all())
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` objects."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        if not self._attributes:
+            raise ValueError("a schema needs at least one attribute")
+        names = [a.name for a in self._attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+
+    @classmethod
+    def from_domain_sizes(cls, sizes: Sequence[int], prefix: str = "A") -> "Schema":
+        """Build a schema with generated names ``A0, A1, ...``."""
+        return cls(Attribute(f"{prefix}{i}", int(s)) for i, s in enumerate(sizes))
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> List[str]:
+        return [a.name for a in self._attributes]
+
+    @property
+    def domain_sizes(self) -> List[int]:
+        return [a.domain_size for a in self._attributes]
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._attributes)
+
+    def domain_space(self) -> float:
+        """The paper's ``∏ |A_i|``: total number of histogram bins.
+
+        Returned as a float because for the 8-D experiments it reaches
+        ``10**24``, far beyond int64 multiplication safety for downstream
+        arithmetic.
+        """
+        return float(np.prod([float(s) for s in self.domain_sizes]))
+
+    def index_of(self, name: str) -> int:
+        """Position of the attribute called ``name``."""
+        for i, attribute in enumerate(self._attributes):
+            if attribute.name == name:
+                return i
+        raise KeyError(f"no attribute named {name!r}")
+
+    def small_domain_indices(self) -> List[int]:
+        """Indices of attributes the hybrid algorithm must partition on."""
+        return [i for i, a in enumerate(self._attributes) if a.is_small_domain]
+
+    def large_domain_indices(self) -> List[int]:
+        """Indices of attributes DPCopula can model directly."""
+        return [i for i, a in enumerate(self._attributes) if not a.is_small_domain]
+
+    def subset(self, indices: Sequence[int]) -> "Schema":
+        """Schema restricted to ``indices`` (in the given order)."""
+        return Schema(self._attributes[i] for i in indices)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, index: int) -> Attribute:
+        return self._attributes[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}[{a.domain_size}]" for a in self._attributes)
+        return f"Schema({parts})"
+
+
+class Dataset:
+    """An integer-coded table: ``n`` records over a :class:`Schema`.
+
+    The column matrix is stored as an ``(n, m)`` int64 array.  Instances
+    are immutable from the library's point of view (the array is marked
+    read-only) so synthesizers can share them without defensive copies.
+    """
+
+    def __init__(self, values: np.ndarray, schema: Schema):
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValueError(f"dataset values must be 2-D, got shape {values.shape}")
+        if values.shape[1] != schema.dimensions:
+            raise ValueError(
+                f"dataset has {values.shape[1]} columns but schema has "
+                f"{schema.dimensions} attributes"
+            )
+        if values.size and not np.issubdtype(values.dtype, np.integer):
+            rounded = np.rint(values)
+            if not np.allclose(values, rounded):
+                raise ValueError("dataset values must be integer-coded")
+            values = rounded
+        values = values.astype(np.int64, copy=True)
+        for j, attribute in enumerate(schema):
+            if not attribute.contains(values[:, j]):
+                raise ValueError(
+                    f"column {attribute.name!r} contains values outside "
+                    f"[0, {attribute.domain_size})"
+                )
+        values.setflags(write=False)
+        self._values = values
+        self._schema = schema
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only ``(n, m)`` matrix of integer codes."""
+        return self._values
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_records(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self._values.shape[1]
+
+    def column(self, index: int) -> np.ndarray:
+        """The ``index``-th column as a 1-D array."""
+        return self._values[:, index]
+
+    def project(self, indices: Sequence[int]) -> "Dataset":
+        """Dataset restricted to the given attribute indices."""
+        indices = list(indices)
+        return Dataset(self._values[:, indices], self._schema.subset(indices))
+
+    def select(self, mask: np.ndarray) -> "Dataset":
+        """Dataset restricted to records where ``mask`` is True."""
+        return Dataset(self._values[np.asarray(mask, dtype=bool)], self._schema)
+
+    def sample(self, size: int, rng: np.random.Generator) -> "Dataset":
+        """Uniform without-replacement sample of ``min(size, n)`` records."""
+        size = min(int(size), self.n_records)
+        indices = rng.choice(self.n_records, size=size, replace=False)
+        return Dataset(self._values[indices], self._schema)
+
+    def marginal_counts(self, index: int) -> np.ndarray:
+        """Exact (non-private) marginal histogram for attribute ``index``."""
+        attribute = self._schema[index]
+        return np.bincount(self.column(index), minlength=attribute.domain_size).astype(float)
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __repr__(self) -> str:
+        return f"Dataset(n={self.n_records}, schema={self._schema!r})"
+
+
+def coarsen_dataset(dataset: Dataset, max_domain_size: int) -> Dataset:
+    """Bucket large attribute domains down to at most ``max_domain_size``.
+
+    Each oversized attribute's values are integer-divided by
+    ``ceil(domain / max_domain_size)``.  Used by the experiment harness to
+    give dense-grid baselines (Privelet, P-HP) a materializable domain
+    when comparing against point-input methods on census-scale schemas;
+    the coarsening factor is recorded in the new attribute names.
+    """
+    check_int_at_least("max_domain_size", max_domain_size, 2)
+    attributes = []
+    columns = []
+    for j, attribute in enumerate(dataset.schema):
+        size = attribute.domain_size
+        if size <= max_domain_size:
+            attributes.append(attribute)
+            columns.append(dataset.column(j))
+            continue
+        factor = -(-size // max_domain_size)  # ceil division
+        new_size = -(-size // factor)
+        attributes.append(Attribute(f"{attribute.name}/{factor}", new_size))
+        columns.append(dataset.column(j) // factor)
+    return Dataset(np.column_stack(columns), Schema(attributes))
+
+
+def concatenate(datasets: Sequence[Dataset]) -> Dataset:
+    """Stack datasets sharing one schema into a single dataset."""
+    if not datasets:
+        raise ValueError("need at least one dataset to concatenate")
+    schema = datasets[0].schema
+    for ds in datasets[1:]:
+        if ds.schema != schema:
+            raise ValueError("cannot concatenate datasets with different schemas")
+    values = np.vstack([ds.values for ds in datasets])
+    return Dataset(values, schema)

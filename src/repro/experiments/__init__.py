@@ -1,0 +1,77 @@
+"""Experiment harness regenerating every figure of the paper's Section 5."""
+
+from repro.experiments.config import ExperimentScale, PaperDefaults
+from repro.experiments.runner import (
+    DPCopulaMethod,
+    FPMethod,
+    IdentityMethod,
+    Method,
+    PHPMethod,
+    PriveletMethod,
+    PSDMethod,
+    average_evaluation,
+    dense_counts,
+    make_method,
+)
+from repro.experiments.claims import (
+    PAPER_CLAIMS,
+    Claim,
+    ClaimOutcome,
+    claims_report,
+    evaluate_claims,
+)
+from repro.experiments.plotting import render_figure, sparkline
+from repro.experiments.report import (
+    figure_to_csv,
+    figure_to_markdown,
+    figures_to_markdown,
+    write_report,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    SeriesPoint,
+    fig05_ratio_k,
+    fig06_kendall_vs_mle,
+    fig07_census,
+    fig08_range_size,
+    fig09_distribution,
+    fig10_dimensionality,
+    fig11_scalability,
+    run_figure,
+)
+
+__all__ = [
+    "PaperDefaults",
+    "ExperimentScale",
+    "Method",
+    "DPCopulaMethod",
+    "PSDMethod",
+    "PriveletMethod",
+    "FPMethod",
+    "PHPMethod",
+    "IdentityMethod",
+    "make_method",
+    "dense_counts",
+    "average_evaluation",
+    "SeriesPoint",
+    "FigureResult",
+    "fig05_ratio_k",
+    "fig06_kendall_vs_mle",
+    "fig07_census",
+    "fig08_range_size",
+    "fig09_distribution",
+    "fig10_dimensionality",
+    "fig11_scalability",
+    "run_figure",
+    "figure_to_markdown",
+    "figures_to_markdown",
+    "figure_to_csv",
+    "write_report",
+    "render_figure",
+    "sparkline",
+    "Claim",
+    "ClaimOutcome",
+    "PAPER_CLAIMS",
+    "evaluate_claims",
+    "claims_report",
+]

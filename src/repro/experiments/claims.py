@@ -1,0 +1,285 @@
+"""The paper's qualitative claims, codified as checkable predicates.
+
+Reproducing a paper means reproducing its *claims*, not its exact
+numbers.  Each :class:`Claim` binds a sentence from the evaluation
+section to a predicate over the corresponding
+:class:`~repro.experiments.figures.FigureResult`; running the claims
+over a set of measured figures yields the PASS/FAIL summary that
+EXPERIMENTS.md reports and the shape benchmarks assert.
+
+Checks are deliberately tolerant: they test dominance/monotonicity over
+most of the sweep (``fraction``), because single noisy grid points at
+reduced scale flip routinely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.figures import FigureResult
+
+
+def dominates(
+    result: FigureResult,
+    winner: str,
+    loser: str,
+    metric: str = "relative_error",
+    fraction: float = 0.7,
+) -> bool:
+    """Whether ``winner``'s series is below ``loser``'s at >= ``fraction``
+    of the shared x positions."""
+    winner_series = dict(result.series(winner, metric))
+    loser_series = dict(result.series(loser, metric))
+    shared = [x for x in winner_series if x in loser_series]
+    if not shared:
+        return False
+    wins = sum(1 for x in shared if winner_series[x] <= loser_series[x])
+    return wins / len(shared) >= fraction
+
+
+def monotone(
+    result: FigureResult,
+    method: str,
+    metric: str,
+    direction: str,
+    fraction: float = 0.7,
+) -> bool:
+    """Whether a series moves in ``direction`` over >= ``fraction`` of
+    its consecutive steps ("increasing" or "decreasing")."""
+    values = [v for _, v in result.series(method, metric)]
+    if len(values) < 2:
+        return False
+    steps = np.diff(values)
+    if direction == "increasing":
+        good = np.sum(steps >= 0)
+    elif direction == "decreasing":
+        good = np.sum(steps <= 0)
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    return good / steps.size >= fraction
+
+
+def endpoint_improvement(
+    result: FigureResult,
+    method: str,
+    metric: str,
+) -> bool:
+    """Whether the last x's value improves on (is below) the first x's."""
+    values = [v for _, v in result.series(method, metric)]
+    return len(values) >= 2 and values[-1] <= values[0]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One sentence of the paper, bound to a figure and a predicate."""
+
+    claim_id: str
+    figure_id: str
+    description: str
+    check: Callable[[FigureResult], bool]
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    """The verdict of one claim against one measured figure."""
+
+    claim: Claim
+    passed: Optional[bool]  # None = figure not supplied
+
+    @property
+    def verdict(self) -> str:
+        if self.passed is None:
+            return "NOT RUN"
+        return "PASS" if self.passed else "FAIL"
+
+
+def _first_method_matching(result: FigureResult, prefix: str) -> Optional[str]:
+    for method in result.methods():
+        if method.startswith(prefix):
+            return method
+    return None
+
+
+def _claim_fig5(result: FigureResult) -> bool:
+    # "when k is less than 1, the relative error clearly degrades as k
+    # [decreases]... quite robust and insensitive to k as long as > 1."
+    ok = True
+    for method in result.methods():
+        values = dict(result.series(method, "relative_error"))
+        below = [v for x, v in values.items() if float(x) < 1.0]
+        above = [v for x, v in values.items() if float(x) >= 1.0]
+        if below and above:
+            ok &= float(np.mean(above)) <= float(np.mean(below))
+    return ok
+
+
+def _claim_fig6_error(result: FigureResult) -> bool:
+    # "DPCopula-Kendall performs better than DPCopula-MLE."
+    return dominates(
+        result, "dpcopula-kendall", "dpcopula-mle", "relative_error", fraction=0.5
+    )
+
+
+def _claim_fig6_runtime(result: FigureResult) -> bool:
+    # "with higher dimensions, the time to compute ... becomes longer."
+    return monotone(result, "dpcopula-kendall", "seconds", "increasing")
+
+
+def _claim_fig7(result: FigureResult) -> bool:
+    # "DPCopula outperforms all the other methods."
+    dpcopula = _first_method_matching(result, "dpcopula")
+    if dpcopula is None:
+        return False
+    others = [m for m in result.methods() if not m.startswith("dpcopula")]
+    return bool(others) and all(
+        dominates(result, dpcopula, other, "relative_error") for other in others
+    )
+
+
+def _claim_fig7_gap(result: FigureResult) -> bool:
+    # "their performance gap expands as the privacy budget decreases."
+    dpcopula = _first_method_matching(result, "dpcopula")
+    if dpcopula is None:
+        return False
+    ours = dict(result.series(dpcopula, "relative_error"))
+    xs = sorted(ours)
+    if len(xs) < 2:
+        return False
+    others = [m for m in result.methods() if not m.startswith("dpcopula")]
+    expanded = 0
+    for other in others:
+        theirs = dict(result.series(other, "relative_error"))
+        shared = [x for x in xs if x in theirs]
+        if len(shared) < 2:
+            continue
+        gap_small_eps = theirs[shared[0]] - ours[shared[0]]
+        gap_large_eps = theirs[shared[-1]] - ours[shared[-1]]
+        if gap_small_eps >= gap_large_eps:
+            expanded += 1
+    return expanded >= max(1, len(others) // 2)
+
+
+def _claim_fig8_relative(result: FigureResult) -> bool:
+    # "the relative error gradually degrades as the query range size
+    # increases" — i.e. improves toward large ranges (ignoring the
+    # cell-query point, whose zero-heavy average the paper calls out).
+    method = _first_method_matching(result, "dpcopula")
+    return method is not None and endpoint_improvement(
+        result, method, "relative_error"
+    )
+
+
+def _claim_fig8_absolute(result: FigureResult) -> bool:
+    # "while the absolute error has the contrary trend."
+    method = _first_method_matching(result, "dpcopula")
+    return method is not None and monotone(
+        result, method, "absolute_error", "increasing"
+    )
+
+
+def _claim_fig9(result: FigureResult) -> bool:
+    # "DPCopula performs best in all distributions."
+    margins = {m.split(":", 1)[1] for m in result.methods() if ":" in m}
+    if not margins:
+        return False
+    for margin in margins:
+        dpcopula = f"dpcopula-kendall:{margin}"
+        rivals = [
+            m
+            for m in result.methods()
+            if m.endswith(f":{margin}") and not m.startswith("dpcopula")
+        ]
+        if not rivals:
+            return False
+        if not all(
+            dominates(result, dpcopula, rival, "relative_error")
+            for rival in rivals
+        ):
+            return False
+    return True
+
+
+def _claim_fig10(result: FigureResult) -> bool:
+    # "For all dimensions from 2D to 8D, DPCopula again outperforms PSD."
+    return dominates(result, "dpcopula-kendall", "psd", "absolute_error")
+
+
+def _claim_fig11_linear(result: FigureResult) -> bool:
+    # "all three techniques run linear time with respect to n" — checked
+    # as: no method's runtime grows faster than ~linearly (ratio of
+    # runtime growth to n growth bounded).
+    methods = {
+        point.method for point in result.points if point.metric == "seconds_vs_n"
+    }
+    for method in methods:
+        series = result.series(method, "seconds_vs_n")
+        if len(series) < 2:
+            continue
+        (x0, t0), (x1, t1) = series[0], series[-1]
+        n_growth = float(x1) / float(x0)
+        t_growth = (t1 + 1e-9) / (t0 + 1e-9)
+        if t_growth > 3.0 * n_growth:
+            return False
+    return True
+
+
+PAPER_CLAIMS: List[Claim] = [
+    Claim("fig5-k", "fig5",
+          "error degrades for k < 1; insensitive for k >= 1", _claim_fig5),
+    Claim("fig6-error", "fig6",
+          "DPCopula-Kendall at or below DPCopula-MLE error", _claim_fig6_error),
+    Claim("fig6-runtime", "fig6",
+          "runtime grows with dimensionality", _claim_fig6_runtime),
+    Claim("fig7a-wins", "fig7a",
+          "DPCopula outperforms all baselines (US census)", _claim_fig7),
+    Claim("fig7a-gap", "fig7a",
+          "gap expands as epsilon decreases (US census)", _claim_fig7_gap),
+    Claim("fig7b-wins", "fig7b",
+          "DPCopula outperforms all baselines (Brazil census)", _claim_fig7),
+    Claim("fig7b-gap", "fig7b",
+          "gap expands as epsilon decreases (Brazil census)", _claim_fig7_gap),
+    Claim("fig8-relative", "fig8",
+          "relative error improves toward large ranges", _claim_fig8_relative),
+    Claim("fig8-absolute", "fig8",
+          "absolute error grows with range size", _claim_fig8_absolute),
+    Claim("fig8-wins", "fig8",
+          "DPCopula below PSD and P-HP",
+          lambda r: dominates(r, "dpcopula-kendall", "psd")
+          and dominates(r, "dpcopula-kendall", "php")),
+    Claim("fig9-wins", "fig9",
+          "DPCopula best for every margin distribution", _claim_fig9),
+    Claim("fig10-wins", "fig10",
+          "DPCopula outperforms PSD at every dimensionality", _claim_fig10),
+    Claim("fig11-linear", "fig11",
+          "runtime roughly linear in cardinality", _claim_fig11_linear),
+]
+
+
+def evaluate_claims(
+    results: Dict[str, FigureResult],
+    claims: Optional[Sequence[Claim]] = None,
+) -> List[ClaimOutcome]:
+    """Check every claim against the supplied measured figures."""
+    outcomes = []
+    for claim in claims if claims is not None else PAPER_CLAIMS:
+        result = results.get(claim.figure_id)
+        passed = None if result is None else bool(claim.check(result))
+        outcomes.append(ClaimOutcome(claim=claim, passed=passed))
+    return outcomes
+
+
+def claims_report(outcomes: Sequence[ClaimOutcome]) -> str:
+    """Render claim verdicts as a Markdown table."""
+    lines = [
+        "| Claim | Figure | Verdict |",
+        "|---|---|---|",
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"| {outcome.claim.description} | {outcome.claim.figure_id} | "
+            f"{outcome.verdict} |"
+        )
+    return "\n".join(lines)

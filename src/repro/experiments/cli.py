@@ -1,0 +1,121 @@
+"""Command-line entry point: ``python -m repro.experiments --figure fig7a``.
+
+Runs one or all reproduced figures at the chosen scale and prints the
+series tables (the same rows the paper plots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import available_figures, run_figure
+
+_SCALES = {
+    "small": ExperimentScale.small,
+    "medium": ExperimentScale.medium,
+    "paper": ExperimentScale.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the DPCopula paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        dest="figures",
+        choices=available_figures(),
+        help="figure id to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(_SCALES),
+        help="experiment scale (default: small)",
+    )
+    parser.add_argument(
+        "--n-records", type=int, default=None, help="override dataset cardinality"
+    )
+    parser.add_argument(
+        "--n-queries", type=int, default=None, help="override workload size"
+    )
+    parser.add_argument(
+        "--n-runs", type=int, default=None, help="override repetition count"
+    )
+    parser.add_argument(
+        "--tables",
+        action="store_true",
+        help="print the regenerated paper tables (Table 2 and Table 3) and exit",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a Markdown report to PATH",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render terminal sparkline charts in addition to the tables",
+    )
+    parser.add_argument(
+        "--claims",
+        action="store_true",
+        help="check the paper's qualitative claims against the results",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the requested figures (or print tables) and return exit code."""
+    args = build_parser().parse_args(argv)
+    if args.tables:
+        from repro.experiments.tables import all_tables
+
+        print(all_tables())
+        return 0
+    scale = _SCALES[args.scale]()
+    overrides = {}
+    if args.n_records is not None:
+        overrides["n_records"] = args.n_records
+    if args.n_queries is not None:
+        overrides["n_queries"] = args.n_queries
+    if args.n_runs is not None:
+        overrides["n_runs"] = args.n_runs
+    if overrides:
+        scale = scale.with_(**overrides)
+
+    figures = args.figures or available_figures()
+    results = []
+    for figure_id in figures:
+        result = run_figure(figure_id, scale=scale)
+        results.append(result)
+        print(result.to_table())
+        if args.plot:
+            from repro.experiments.plotting import render_figure
+
+            print()
+            print(render_figure(result))
+        print()
+    if args.claims:
+        from repro.experiments.claims import claims_report, evaluate_claims
+
+        outcomes = evaluate_claims({r.figure_id: r for r in results})
+        print(claims_report(outcomes))
+        print()
+    if args.report:
+        from repro.experiments.report import write_report
+
+        write_report(results, args.report, title=f"Measured results ({args.scale} scale)")
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Experiment parameters.
+
+:class:`PaperDefaults` pins Table 3 of the paper (the authoritative
+defaults of the original evaluation); :class:`ExperimentScale` is the
+dial between a quick benchmark run and the paper's full scale.  Every
+figure function takes a scale object, so regenerating a figure at paper
+scale is a one-argument change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Table 3: default experiment parameters of the original paper."""
+
+    n_records: int = 50_000
+    epsilon: float = 1.0
+    dimensions: int = 8
+    sanity_bound: float = 1.0
+    ratio_k: float = 8.0
+    domain_size: int = 1000
+    queries_per_run: int = 1000
+    runs: int = 5
+    # Section 5.1: sanity bounds for the real datasets.
+    us_sanity_fraction: float = 0.0005  # 0.05% of cardinality
+    brazil_sanity_bound: float = 10.0
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Tunable scale of an experiment run.
+
+    ``small()`` completes in seconds per figure (the benchmark-suite
+    default), ``paper()`` matches the original evaluation's scale.
+    """
+
+    n_records: int = 5_000
+    n_queries: int = 100
+    n_runs: int = 2
+    domain_size: int = 128
+    dimensions: Tuple[int, ...] = (2, 4, 6, 8)
+    epsilons: Tuple[float, ...] = (0.1, 0.5, 1.0)
+    base_seed: int = 20140324
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        return cls()
+
+    @classmethod
+    def medium(cls) -> "ExperimentScale":
+        return cls(
+            n_records=20_000,
+            n_queries=300,
+            n_runs=3,
+            domain_size=512,
+            epsilons=(0.05, 0.1, 0.25, 0.5, 1.0),
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        defaults = PaperDefaults()
+        return cls(
+            n_records=defaults.n_records,
+            n_queries=defaults.queries_per_run,
+            n_runs=defaults.runs,
+            domain_size=defaults.domain_size,
+            epsilons=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+        )
+
+    def with_(self, **changes) -> "ExperimentScale":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,83 @@
+"""Dependency-free terminal plots for figure results.
+
+The benchmark harness runs in headless environments, so figures are
+rendered as Unicode line charts directly in the terminal: one chart per
+metric, one braille-free column-block series per method, log-scaled when
+the values span decades (error-vs-ε curves usually do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.figures import FigureResult
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], log_scale: bool = False) -> str:
+    """Render a numeric series as a row of block characters.
+
+    >>> sparkline([1, 2, 3, 4])
+    '▁▃▆█'
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return ""
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        return "?" * array.size
+    if log_scale:
+        floor = max(finite[finite > 0].min() if (finite > 0).any() else 1e-12, 1e-12)
+        array = np.log10(np.clip(array, floor, None))
+        finite = array[np.isfinite(array)]
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    characters = []
+    for value in array:
+        if not np.isfinite(value):
+            characters.append("?")
+            continue
+        if span <= 0:
+            characters.append(_BLOCKS[4])
+            continue
+        index = int(round((value - low) / span * (len(_BLOCKS) - 2))) + 1
+        characters.append(_BLOCKS[index])
+    return "".join(characters)
+
+
+def _should_log_scale(series: Dict[str, List[Tuple[object, float]]]) -> bool:
+    values = [v for points in series.values() for _, v in points if v > 0]
+    if len(values) < 2:
+        return False
+    return max(values) / max(min(values), 1e-300) > 50.0
+
+
+def render_figure(result: FigureResult, width: int = 72) -> str:
+    """Terminal rendering: per metric, one labelled sparkline per method."""
+    lines = [f"{result.figure_id}: {result.title}"]
+    for metric in result.metrics():
+        series = {
+            method: result.series(method, metric)
+            for method in result.methods()
+            if result.series(method, metric)
+        }
+        if not series:
+            continue
+        log_scale = _should_log_scale(series)
+        suffix = " (log scale)" if log_scale else ""
+        lines.append(f"  [{metric}]{suffix}")
+        label_width = min(max(len(m) for m in series), 28)
+        for method, points in series.items():
+            values = [v for _, v in points]
+            chart = sparkline(values, log_scale=log_scale)
+            low, high = min(values), max(values)
+            lines.append(
+                f"    {method[:label_width]:<{label_width}} {chart}  "
+                f"[{low:.3g} .. {high:.3g}]"
+            )
+        xs = [x for x, _ in next(iter(series.values()))]
+        lines.append(f"    {'x:':<{label_width}} {xs[0]} .. {xs[-1]}")
+    return "\n".join(lines)

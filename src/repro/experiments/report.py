@@ -1,0 +1,86 @@
+"""Report generation: figure results to Markdown / CSV.
+
+Turns :class:`~repro.experiments.figures.FigureResult` objects into the
+artifacts a reproduction hand-off needs: Markdown tables (the format
+EXPERIMENTS.md uses) and CSV files for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.experiments.figures import FigureResult
+
+PathLike = Union[str, Path]
+
+
+def figure_to_markdown(result: FigureResult) -> str:
+    """One Markdown section per figure, one table per metric."""
+    lines: List[str] = [f"### {result.figure_id} — {result.title}", ""]
+    if result.parameters:
+        rendered = ", ".join(f"{k}={v}" for k, v in result.parameters.items())
+        lines.append(f"*Parameters:* {rendered}")
+        lines.append("")
+    for metric in result.metrics():
+        methods = [m for m in result.methods() if result.series(m, metric)]
+        xs: List = []
+        for method in methods:
+            for x, _ in result.series(method, metric):
+                if x not in xs:
+                    xs.append(x)
+        lines.append(f"**{metric}**")
+        lines.append("")
+        lines.append("| x | " + " | ".join(methods) + " |")
+        lines.append("|---" * (len(methods) + 1) + "|")
+        for x in xs:
+            row = [str(x)]
+            for method in methods:
+                values = dict(result.series(method, metric))
+                value = values.get(x)
+                row.append(f"{value:.4g}" if value is not None else "—")
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figures_to_markdown(
+    results: Iterable[FigureResult],
+    title: str = "Measured results",
+) -> str:
+    """A full Markdown report from several figures."""
+    sections = [f"## {title}", ""]
+    for result in results:
+        sections.append(figure_to_markdown(result))
+    return "\n".join(sections)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Long-format CSV: figure_id, metric, method, x, value."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["figure_id", "metric", "method", "x", "value"])
+    for point in result.points:
+        writer.writerow(
+            [result.figure_id, point.metric, point.method, point.x, point.value]
+        )
+    return buffer.getvalue()
+
+
+def write_report(
+    results: Sequence[FigureResult],
+    markdown_path: PathLike,
+    csv_dir: PathLike = None,
+    title: str = "Measured results",
+) -> None:
+    """Write the Markdown report and (optionally) one CSV per figure."""
+    Path(markdown_path).write_text(figures_to_markdown(results, title=title))
+    if csv_dir is not None:
+        directory = Path(csv_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            (directory / f"{result.figure_id}.csv").write_text(
+                figure_to_csv(result)
+            )

@@ -1,0 +1,84 @@
+"""Regeneration of the paper's tables.
+
+Section 5 has two setup tables besides the figures:
+
+* **Table 2** — domain sizes of the real datasets.  Regenerated from the
+  simulated extracts' schemas (which reproduce the published values
+  exactly; the test suite asserts this).
+* **Table 3** — the experiment parameter defaults.  Regenerated from
+  :class:`~repro.experiments.config.PaperDefaults`.
+
+(Table 1 is the notation index and has no data content.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.data.census import BRAZIL_CENSUS_SCHEMA, US_CENSUS_SCHEMA
+from repro.data.dataset import Schema
+from repro.experiments.config import PaperDefaults
+
+
+def _schema_rows(schema: Schema) -> List[List[str]]:
+    return [[attribute.name, str(attribute.domain_size)] for attribute in schema]
+
+
+def _render(title: str, header: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(header[i]), max((len(row[i]) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table2a_us_domain_sizes() -> str:
+    """Table 2(a): US census dataset domain sizes."""
+    return _render(
+        "Table 2(a): US census dataset",
+        ["Attribute", "Domain size"],
+        _schema_rows(US_CENSUS_SCHEMA),
+    )
+
+
+def table2b_brazil_domain_sizes() -> str:
+    """Table 2(b): Brazil census dataset domain sizes."""
+    return _render(
+        "Table 2(b): Brazil census dataset",
+        ["Attribute", "Domain size"],
+        _schema_rows(BRAZIL_CENSUS_SCHEMA),
+    )
+
+
+def table3_experiment_parameters() -> str:
+    """Table 3: default experiment parameters."""
+    defaults = PaperDefaults()
+    rows = [
+        ["n", "number of tuples in D", str(defaults.n_records)],
+        ["epsilon", "privacy budget", str(defaults.epsilon)],
+        ["m", "number of dimensions", str(defaults.dimensions)],
+        ["s", "sanity bound", str(int(defaults.sanity_bound))],
+        ["k", "ratio of epsilon1 and epsilon2", str(int(defaults.ratio_k))],
+        ["A_i", "domain size of ith dimension", str(defaults.domain_size)],
+    ]
+    return _render(
+        "Table 3: experiment parameters",
+        ["Parameter", "Description", "Default value"],
+        rows,
+    )
+
+
+def all_tables() -> str:
+    """Every regenerated table, concatenated."""
+    return "\n\n".join(
+        [
+            table2a_us_domain_sizes(),
+            table2b_brazil_domain_sizes(),
+            table3_experiment_parameters(),
+        ]
+    )

@@ -1,0 +1,70 @@
+"""Differentially private histogram publishers.
+
+One-dimensional publishers (used for DPCopula's margins, Section 4.1):
+
+* :class:`~repro.histograms.identity.IdentityPublisher` — Dwork's
+  Laplace-per-bin baseline;
+* :class:`~repro.histograms.efpa.EFPAPublisher` — the paper's default
+  margin publisher (Acs et al., lossy Fourier/cosine compression);
+* :class:`~repro.histograms.privelet.PriveletPublisher` — Haar-wavelet
+  noise (Xiao et al.), 1-D and multi-dimensional;
+* :class:`~repro.histograms.structurefirst.NoiseFirstPublisher` /
+  :class:`~repro.histograms.structurefirst.StructureFirstPublisher` —
+  merging-based 1-D publishers (Xu et al.).
+
+Multi-dimensional baselines of the evaluation section:
+
+* :class:`~repro.histograms.psd.PSDPublisher` — private spatial
+  decomposition, the KD-hybrid tree of Cormode et al.;
+* :class:`~repro.histograms.fp.FilterPriorityPublisher` — sparse
+  summaries of Cormode et al.;
+* :class:`~repro.histograms.php.PHPPublisher` — hierarchical
+  bisection partitioning of Acs et al.
+"""
+
+from repro.histograms.base import (
+    DenseNoisyHistogram,
+    HistogramPublisher,
+    RangeQueryAnswerer,
+)
+from repro.histograms.identity import IdentityPublisher
+from repro.histograms.efpa import EFPAPublisher
+from repro.histograms.privelet import PriveletPublisher, haar_transform, inverse_haar_transform
+from repro.histograms.structurefirst import NoiseFirstPublisher, StructureFirstPublisher
+from repro.histograms.hierarchical import HierarchicalPublisher
+from repro.histograms.psd import PSDPublisher, PSDTree, enforce_tree_consistency
+from repro.histograms.fp import FilterPriorityPublisher, SparseNoisySummary
+from repro.histograms.php import PHPPublisher
+from repro.histograms.dpcube import DPCubePublisher
+from repro.histograms.vopt import voptimal_estimate, voptimal_partition
+from repro.histograms.grid import (
+    AdaptiveGridPublisher,
+    UniformGrid,
+    UniformGridPublisher,
+)
+
+__all__ = [
+    "HistogramPublisher",
+    "RangeQueryAnswerer",
+    "DenseNoisyHistogram",
+    "IdentityPublisher",
+    "EFPAPublisher",
+    "PriveletPublisher",
+    "haar_transform",
+    "inverse_haar_transform",
+    "NoiseFirstPublisher",
+    "StructureFirstPublisher",
+    "HierarchicalPublisher",
+    "PSDPublisher",
+    "PSDTree",
+    "enforce_tree_consistency",
+    "FilterPriorityPublisher",
+    "SparseNoisySummary",
+    "PHPPublisher",
+    "DPCubePublisher",
+    "UniformGridPublisher",
+    "AdaptiveGridPublisher",
+    "UniformGrid",
+    "voptimal_partition",
+    "voptimal_estimate",
+]

@@ -1,0 +1,117 @@
+"""Common interfaces for differentially private histogram methods.
+
+Two roles are distinguished:
+
+* a **publisher** consumes exact data (a count vector/array, or raw
+  points for spatial methods) plus a privacy budget and emits a sanitized
+  object;
+* an **answerer** is the sanitized object itself, able to answer
+  multi-dimensional range-count queries.  Dense reconstructions are
+  wrapped in :class:`DenseNoisyHistogram`; tree and sparse methods return
+  their own answerer types.
+
+The range convention throughout the library is *inclusive integer
+intervals*: a query is a list of ``(low, high)`` pairs, one per
+attribute, and a record matches when ``low_j <= x_j <= high_j`` for all
+``j`` — matching the paper's ``A_i ∈ I_i`` predicates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Tuple
+
+import numpy as np
+
+Range = Tuple[int, int]
+
+
+class RangeQueryAnswerer(abc.ABC):
+    """Anything that can answer inclusive multi-dimensional range counts."""
+
+    @abc.abstractmethod
+    def range_count(self, ranges: Sequence[Range]) -> float:
+        """Estimated number of records inside the hyper-rectangle."""
+
+    @property
+    @abc.abstractmethod
+    def dimensions(self) -> int:
+        """Number of attributes the answerer covers."""
+
+
+class HistogramPublisher(abc.ABC):
+    """A 1-D histogram sanitizer: noisy counts in, noisy counts out."""
+
+    name: str = "publisher"
+
+    @abc.abstractmethod
+    def publish(
+        self,
+        counts: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return sanitized counts for the given exact 1-D ``counts``."""
+
+
+def validate_ranges(ranges: Sequence[Range], shape: Sequence[int]) -> Tuple[Range, ...]:
+    """Clip and validate a query's ranges against a domain ``shape``.
+
+    Returns clipped inclusive ranges; raises on dimension mismatch.
+    Ranges entirely outside the domain come back as empty markers
+    ``(1, 0)`` (low > high), which every answerer treats as count 0.
+    """
+    if len(ranges) != len(shape):
+        raise ValueError(
+            f"query has {len(ranges)} ranges but the domain has {len(shape)} dimensions"
+        )
+    clipped = []
+    for (low, high), size in zip(ranges, shape):
+        low_c = max(int(low), 0)
+        high_c = min(int(high), int(size) - 1)
+        clipped.append((low_c, high_c))
+    return tuple(clipped)
+
+
+class DenseNoisyHistogram(RangeQueryAnswerer):
+    """A dense estimated-count array over the full attribute grid.
+
+    Suitable whenever the total number of bins is materializable; the
+    identity, Privelet, EFPA and P-HP methods all reconstruct one of
+    these.  Range counts are exact sums over the hyper-rectangle.
+    """
+
+    def __init__(self, estimated_counts: np.ndarray):
+        estimated = np.asarray(estimated_counts, dtype=float)
+        if estimated.ndim < 1:
+            raise ValueError("estimated counts must have at least one dimension")
+        self._counts = estimated
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._counts.shape
+
+    @property
+    def dimensions(self) -> int:
+        return self._counts.ndim
+
+    @property
+    def total(self) -> float:
+        return float(self._counts.sum())
+
+    def range_count(self, ranges: Sequence[Range]) -> float:
+        clipped = validate_ranges(ranges, self._counts.shape)
+        slices = []
+        for low, high in clipped:
+            if high < low:
+                return 0.0
+            slices.append(slice(low, high + 1))
+        return float(self._counts[tuple(slices)].sum())
+
+    def nonnegative(self) -> "DenseNoisyHistogram":
+        """Post-processed copy with negative estimates clipped to zero."""
+        return DenseNoisyHistogram(np.clip(self._counts, 0.0, None))

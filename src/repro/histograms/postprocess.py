@@ -1,0 +1,63 @@
+"""Privacy-free post-processing utilities for sanitized histograms.
+
+Everything here operates on already-released DP outputs, so none of it
+affects the privacy guarantee (post-processing invariance).  The paper
+notes (contribution 1) that histogram-based synthetic-data pipelines
+*require* such steps — non-negativity, count consistency — whereas
+DPCopula's sampling needs only the normalized-CDF reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_nonnegative(counts: np.ndarray) -> np.ndarray:
+    """Clip negative estimated counts to zero."""
+    return np.clip(np.asarray(counts, dtype=float), 0.0, None)
+
+
+def round_to_integers(counts: np.ndarray) -> np.ndarray:
+    """Round estimated counts to non-negative integers."""
+    return np.rint(clip_nonnegative(counts)).astype(np.int64)
+
+
+def rescale_to_total(counts: np.ndarray, target_total: float) -> np.ndarray:
+    """Scale non-negative counts so they sum to ``target_total``.
+
+    Falls back to a uniform histogram when everything is zero.
+    """
+    counts = clip_nonnegative(counts)
+    total = counts.sum()
+    target = max(float(target_total), 0.0)
+    if total <= 0:
+        return np.full_like(counts, target / counts.size)
+    return counts * (target / total)
+
+
+def isotonic_cdf(counts: np.ndarray) -> np.ndarray:
+    """Monotone non-decreasing CDF on [0, 1] from (possibly noisy) counts.
+
+    Clips, normalizes and accumulates; the final entry is exactly 1.
+    """
+    pmf = clip_nonnegative(counts)
+    total = pmf.sum()
+    if total <= 0:
+        pmf = np.ones_like(pmf)
+        total = pmf.sum()
+    cdf = np.cumsum(pmf / total)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def consistency_by_averaging(noisy_parent: float, noisy_children: np.ndarray) -> np.ndarray:
+    """One step of hierarchical consistency (Hay et al. style).
+
+    Adjust children so they sum to the parent, spreading the discrepancy
+    equally.  Used by tests to validate tree post-processing logic.
+    """
+    children = np.asarray(noisy_children, dtype=float)
+    if children.size == 0:
+        raise ValueError("need at least one child")
+    discrepancy = noisy_parent - children.sum()
+    return children + discrepancy / children.size

@@ -1,0 +1,166 @@
+"""Privelet: differential privacy via wavelet transforms (Xiao et al., ICDE 2010).
+
+Privelet applies the Haar wavelet transform to the histogram, perturbs
+each coefficient with Laplace noise inversely proportional to the
+coefficient's *weight* (coarse coefficients get less noise), and inverts.
+Range queries then accumulate only polylogarithmic noise variance instead
+of the linear growth of the identity mechanism.
+
+Weights and sensitivity (following the original paper's generalized
+sensitivity argument):
+
+* a Haar detail coefficient at a node spanning ``2^j`` leaves changes by
+  ``2^-j`` when one record is added, and gets weight ``2^j``;
+* the overall-average coefficient changes by ``1/N`` and gets weight ``N``;
+* hence each of the ``h + 1`` affected coefficients contributes exactly
+  ``weight × |Δc| = 1`` and the generalized sensitivity is ``h + 1``
+  (``h = log2 N``);
+* coefficient ``c`` receives ``Lap(ρ / (ε · weight(c)))`` noise.
+
+The multi-dimensional transform nests the 1-D transform along each axis;
+weights multiply across axes and the generalized sensitivity becomes
+``∏_i (h_i + 1)`` — this is the "Privelet+" configuration used as a
+baseline in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.histograms.base import DenseNoisyHistogram, HistogramPublisher
+from repro.utils import RngLike, as_generator, check_positive
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def haar_transform(values: np.ndarray) -> np.ndarray:
+    """Haar decomposition along the last axis (power-of-two length).
+
+    Output layout per vector: index 0 holds the overall average; block
+    ``[2^(q-1), 2^q)`` holds the detail coefficients of scale ``q``
+    (``q = 1`` coarsest).  Detail coefficients are
+    ``(left-average − right-average) / 2``.  Batched: any leading axes
+    are transformed independently in one vectorized pass per level.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[-1]
+    if n & (n - 1) or n == 0:
+        raise ValueError(f"haar_transform needs a power-of-two length, got {n}")
+    out = np.empty_like(values)
+    current = values
+    position = n
+    while current.shape[-1] > 1:
+        pairs = current.reshape(current.shape[:-1] + (-1, 2))
+        averages = pairs.mean(axis=-1)
+        details = (pairs[..., 0] - pairs[..., 1]) / 2.0
+        position -= details.shape[-1]
+        out[..., position : position + details.shape[-1]] = details
+        current = averages
+    out[..., 0] = current[..., 0]
+    return out
+
+
+def inverse_haar_transform(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`haar_transform` (batched along the last axis)."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    n = coefficients.shape[-1]
+    if n & (n - 1) or n == 0:
+        raise ValueError(f"inverse needs a power-of-two length, got {n}")
+    current = coefficients[..., :1].copy()
+    while current.shape[-1] < n:
+        size = current.shape[-1]
+        details = coefficients[..., size : 2 * size]
+        expanded = np.empty(current.shape[:-1] + (2 * size,))
+        expanded[..., 0::2] = current + details
+        expanded[..., 1::2] = current - details
+        current = expanded
+    return current
+
+
+def haar_weights(n: int) -> np.ndarray:
+    """Privelet weight of each coefficient slot for a length-``n`` transform.
+
+    ``weight = 2^j`` for a detail coefficient spanning ``2^j`` leaves,
+    ``weight = n`` for the average coefficient, so that
+    ``weight × |Δc| = 1`` for every coefficient a single record touches.
+    """
+    if n & (n - 1) or n == 0:
+        raise ValueError(f"haar_weights needs a power-of-two length, got {n}")
+    h = int(np.log2(n))
+    weights = np.empty(n)
+    weights[0] = float(n)
+    for q in range(1, h + 1):
+        start, stop = 2 ** (q - 1), 2**q
+        # Storage block q holds nodes spanning 2^(h - q + 1) leaves.
+        weights[start:stop] = float(2 ** (h - q + 1))
+    return weights
+
+
+class PriveletPublisher(HistogramPublisher):
+    """Haar-wavelet histogram sanitizer, 1-D or multi-dimensional."""
+
+    name = "privelet"
+
+    def publish(
+        self,
+        counts: np.ndarray,
+        epsilon: float,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        counts = np.asarray(counts, dtype=float)
+        check_positive("epsilon", epsilon)
+        gen = as_generator(rng)
+
+        original_shape = counts.shape
+        padded_shape = tuple(_next_power_of_two(s) for s in original_shape)
+        padded = np.zeros(padded_shape)
+        padded[tuple(slice(0, s) for s in original_shape)] = counts
+
+        # Nested 1-D transforms along every axis (batched per axis).
+        transformed = padded
+        for axis in range(transformed.ndim):
+            transformed = np.moveaxis(
+                haar_transform(np.moveaxis(transformed, axis, -1)), -1, axis
+            )
+
+        # Weight array = outer product of per-axis weights; sensitivity is
+        # the product of per-axis (h + 1) factors.
+        sensitivity = 1.0
+        weight = np.ones(padded_shape)
+        for axis, size in enumerate(padded_shape):
+            axis_weights = haar_weights(size)
+            shape = [1] * len(padded_shape)
+            shape[axis] = size
+            weight = weight * axis_weights.reshape(shape)
+            sensitivity *= np.log2(size) + 1.0
+
+        noise = gen.laplace(0.0, 1.0, size=padded_shape) * (
+            sensitivity / (epsilon * weight)
+        )
+        transformed = transformed + noise
+
+        reconstructed = transformed
+        for axis in range(reconstructed.ndim):
+            reconstructed = np.moveaxis(
+                inverse_haar_transform(np.moveaxis(reconstructed, axis, -1)), -1, axis
+            )
+        return reconstructed[tuple(slice(0, s) for s in original_shape)]
+
+    def publish_dense(
+        self,
+        counts: np.ndarray,
+        epsilon: float,
+        rng: RngLike = None,
+        clip_negative: bool = False,
+    ) -> DenseNoisyHistogram:
+        """Publish and wrap in a range-query answerer."""
+        noisy = self.publish(counts, epsilon, rng)
+        histogram = DenseNoisyHistogram(noisy)
+        return histogram.nonnegative() if clip_negative else histogram

@@ -1,0 +1,118 @@
+"""V-optimal histogram partitioning by dynamic programming.
+
+The exact counterpart of the greedy merging inside NoiseFirst (Xu et
+al. build their optimal k-bucket structure with this DP).  Given a
+sequence of (noisy) counts, find the contiguous partition into at most
+``k`` buckets minimizing the total within-bucket sum of squared errors:
+
+``opt[k][i] = min_{j<i} opt[k-1][j] + SSE(j..i-1)``
+
+``SSE(a..b)`` is computed in O(1) from prefix sums, and the inner
+minimization is vectorized over ``j``, giving O(N²·k) with numpy-level
+constants — practical to N of a few thousand.  The DP also returns the
+actual bucket boundaries via backpointers.
+
+``NoiseFirstPublisher`` uses the greedy merge path for scalability; this
+module exists (a) as the exact reference the greedy is tested against,
+(b) as an opt-in upgrade for small domains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils import check_int_at_least
+
+
+def _prefix_sums(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    sums = np.concatenate([[0.0], np.cumsum(values)])
+    squares = np.concatenate([[0.0], np.cumsum(values**2)])
+    return sums, squares
+
+
+def segment_sse(sums: np.ndarray, squares: np.ndarray, a: int, b: int) -> float:
+    """SSE of values[a..b] (inclusive) from prefix sums."""
+    length = b - a + 1
+    total = sums[b + 1] - sums[a]
+    square = squares[b + 1] - squares[a]
+    return float(square - total * total / length)
+
+
+def voptimal_partition(
+    values: np.ndarray,
+    k: int,
+) -> Tuple[List[Tuple[int, int]], float]:
+    """The SSE-minimal partition of ``values`` into at most ``k`` buckets.
+
+    Returns ``(spans, total_sse)`` with inclusive ``(start, end)`` spans.
+
+    >>> spans, sse = voptimal_partition(np.array([1., 1., 9., 9.]), 2)
+    >>> spans
+    [(0, 1), (2, 3)]
+    >>> round(sse, 6)
+    0.0
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("need a non-empty 1-D array")
+    n = values.size
+    check_int_at_least("k", k, 1)
+    k = min(k, n)
+
+    sums, squares = _prefix_sums(values)
+
+    # sse_ending[j, i] = SSE of values[j..i-1]; computed per column i
+    # vectorized over j to keep memory O(N) per step.
+    INF = np.inf
+    # opt[i] for the current bucket count; boundaries[b][i] = best j.
+    opt = np.empty(n + 1)
+    opt[0] = 0.0
+    for i in range(1, n + 1):
+        opt[i] = segment_sse(sums, squares, 0, i - 1)
+    backpointers = [np.zeros(n + 1, dtype=int)]
+
+    lengths_cache = np.arange(1, n + 1, dtype=float)
+    for _ in range(1, k):
+        new_opt = np.full(n + 1, INF)
+        pointer = np.zeros(n + 1, dtype=int)
+        new_opt[0] = 0.0
+        for i in range(1, n + 1):
+            js = np.arange(i)
+            lengths = lengths_cache[: i][::-1]  # i - js
+            totals = sums[i] - sums[js]
+            segment = (squares[i] - squares[js]) - totals * totals / lengths
+            candidates = opt[js] + segment
+            best = int(np.argmin(candidates))
+            new_opt[i] = candidates[best]
+            pointer[i] = best
+        # A partition into b buckets is never worse than b-1 buckets.
+        improved = new_opt <= opt
+        pointer = np.where(improved, pointer, backpointers[-1])
+        opt = np.minimum(new_opt, opt)
+        backpointers.append(pointer)
+
+    # Recover spans from the last backpointer table that improved.
+    spans: List[Tuple[int, int]] = []
+    i = n
+    level = len(backpointers) - 1
+    while i > 0:
+        j = int(backpointers[level][i]) if level >= 0 else 0
+        if level == 0:
+            j = 0
+        spans.append((j, i - 1))
+        i = j
+        level -= 1
+    spans.reverse()
+    return spans, float(opt[n])
+
+
+def voptimal_estimate(values: np.ndarray, k: int) -> np.ndarray:
+    """Replace each optimal bucket by its mean (the k-bucket histogram)."""
+    values = np.asarray(values, dtype=float)
+    spans, _ = voptimal_partition(values, k)
+    estimate = np.empty_like(values)
+    for start, end in spans:
+        estimate[start : end + 1] = values[start : end + 1].mean()
+    return estimate

@@ -1,0 +1,173 @@
+"""Serialization: datasets and fitted synthesizer models on disk.
+
+* Datasets round-trip through CSV (human-inspectable, schema header
+  embedded in the column names as ``name[domain]``) or NPZ (fast,
+  lossless).
+* A fitted DPCopula synthesizer's *released state* — the noisy margin
+  counts and the DP correlation matrix — round-trips through NPZ.  The
+  state is itself differentially private, so persisting and reloading it
+  is pure post-processing: a loaded model can sample fresh synthetic
+  data forever without touching the original records again.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.sampling import sample_synthetic
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.stats.ecdf import HistogramCDF
+from repro.utils import RngLike
+
+PathLike = Union[str, Path]
+
+_COLUMN_PATTERN = re.compile(r"^(?P<name>.+)\[(?P<domain>\d+)\]$")
+
+
+def save_dataset_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset as CSV with ``name[domain]`` column headers."""
+    path = Path(path)
+    header = [f"{a.name}[{a.domain_size}]" for a in dataset.schema]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(dataset.values.tolist())
+
+
+def load_dataset_csv(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`save_dataset_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        attributes: List[Attribute] = []
+        for column in header:
+            match = _COLUMN_PATTERN.match(column)
+            if not match:
+                raise ValueError(
+                    f"column header {column!r} is not in 'name[domain]' form"
+                )
+            attributes.append(
+                Attribute(match.group("name"), int(match.group("domain")))
+            )
+        rows = [[int(value) for value in row] for row in reader if row]
+    values = (
+        np.asarray(rows, dtype=np.int64)
+        if rows
+        else np.empty((0, len(attributes)), dtype=np.int64)
+    )
+    return Dataset(values, Schema(attributes))
+
+
+def save_dataset_npz(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset as compressed NPZ (values + schema as JSON)."""
+    schema_json = json.dumps(
+        [[a.name, a.domain_size] for a in dataset.schema]
+    )
+    np.savez_compressed(
+        Path(path), values=dataset.values, schema=np.array(schema_json)
+    )
+
+
+def load_dataset_npz(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`save_dataset_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        values = archive["values"]
+        schema_spec = json.loads(str(archive["schema"]))
+    schema = Schema(Attribute(name, int(size)) for name, size in schema_spec)
+    return Dataset(values, schema)
+
+
+class ReleasedModel:
+    """The differentially private state of a fitted DPCopula synthesizer.
+
+    Holds the noisy margin count vectors, the DP correlation matrix and
+    the schema — everything Algorithm 3 needs to sample, and nothing
+    else.  Because all components were released under the privacy
+    budget, this object can be stored, shared and re-sampled freely.
+    """
+
+    def __init__(
+        self,
+        margin_counts: List[np.ndarray],
+        correlation: np.ndarray,
+        schema: Schema,
+        n_records: int,
+        epsilon: float,
+    ):
+        if len(margin_counts) != schema.dimensions:
+            raise ValueError(
+                f"{len(margin_counts)} margins for {schema.dimensions} attributes"
+            )
+        self.margin_counts = [np.asarray(c, dtype=float) for c in margin_counts]
+        self.correlation = np.asarray(correlation, dtype=float)
+        self.schema = schema
+        self.n_records = int(n_records)
+        self.epsilon = float(epsilon)
+
+    @classmethod
+    def from_synthesizer(cls, synthesizer) -> "ReleasedModel":
+        """Capture the released state of a fitted DPCopula synthesizer."""
+        if not synthesizer.is_fitted:
+            raise ValueError("synthesizer must be fitted first")
+        return cls(
+            margin_counts=synthesizer.margins_.noisy_counts,
+            correlation=synthesizer.correlation_,
+            schema=synthesizer.schema_,
+            n_records=synthesizer._n_records,
+            epsilon=synthesizer.epsilon,
+        )
+
+    def sample(self, n: int = None, rng: RngLike = None) -> Dataset:
+        """Draw synthetic records from the persisted model."""
+        if n is None:
+            n = self.n_records
+        margins = [HistogramCDF(counts) for counts in self.margin_counts]
+        return sample_synthetic(self.correlation, margins, int(n), self.schema, rng)
+
+    def save(self, path: PathLike) -> None:
+        """Persist to NPZ."""
+        payload = {
+            "correlation": self.correlation,
+            "meta": np.array(
+                json.dumps(
+                    {
+                        "schema": [[a.name, a.domain_size] for a in self.schema],
+                        "n_records": self.n_records,
+                        "epsilon": self.epsilon,
+                    }
+                )
+            ),
+        }
+        for j, counts in enumerate(self.margin_counts):
+            payload[f"margin_{j}"] = counts
+        np.savez_compressed(Path(path), **payload)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ReleasedModel":
+        """Restore from NPZ."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            schema = Schema(
+                Attribute(name, int(size)) for name, size in meta["schema"]
+            )
+            margins = [
+                archive[f"margin_{j}"] for j in range(schema.dimensions)
+            ]
+            correlation = archive["correlation"]
+        return cls(
+            margin_counts=margins,
+            correlation=correlation,
+            schema=schema,
+            n_records=meta["n_records"],
+            epsilon=meta["epsilon"],
+        )

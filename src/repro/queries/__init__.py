@@ -1,0 +1,45 @@
+"""Range-count query workloads and the paper's accuracy metrics."""
+
+from repro.queries.range_query import (
+    RangeQuery,
+    anchored_workload,
+    random_workload,
+    workload_with_volume,
+)
+from repro.queries.evaluation import (
+    QueryEvaluation,
+    absolute_error,
+    dataset_answerer,
+    evaluate_workload,
+    relative_error,
+    true_answers,
+)
+from repro.queries.metrics import (
+    UtilityReport,
+    all_margin_tvds,
+    margin_kolmogorov,
+    margin_tvd,
+    pairwise_tau_error,
+    two_way_tvd,
+    utility_report,
+)
+
+__all__ = [
+    "RangeQuery",
+    "random_workload",
+    "anchored_workload",
+    "workload_with_volume",
+    "relative_error",
+    "absolute_error",
+    "true_answers",
+    "dataset_answerer",
+    "evaluate_workload",
+    "QueryEvaluation",
+    "UtilityReport",
+    "utility_report",
+    "margin_tvd",
+    "margin_kolmogorov",
+    "all_margin_tvds",
+    "pairwise_tau_error",
+    "two_way_tvd",
+]

@@ -1,0 +1,130 @@
+"""Query-accuracy metrics (Section 5.1).
+
+Relative error with a sanity bound ``s``::
+
+    RE(q) = |A_noisy(q) − A_act(q)| / max(A_act(q), s)
+
+and plain absolute error, plus a workload evaluator that works uniformly
+over synthetic datasets (counting rows) and sanitized histogram
+structures (their ``range_count``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.histograms.base import RangeQueryAnswerer
+from repro.queries.range_query import RangeQuery
+from repro.utils import check_positive
+
+AnswerSource = Union[Dataset, RangeQueryAnswerer, Callable[[RangeQuery], float]]
+
+
+def relative_error(
+    noisy: float,
+    actual: float,
+    sanity_bound: float = 1.0,
+) -> float:
+    """The paper's relative-error metric for one query."""
+    check_positive("sanity_bound", sanity_bound)
+    return abs(float(noisy) - float(actual)) / max(float(actual), sanity_bound)
+
+
+def absolute_error(noisy: float, actual: float) -> float:
+    """``|A_noisy(q) − A_act(q)|``."""
+    return abs(float(noisy) - float(actual))
+
+
+def true_answers(dataset: Dataset, workload: Sequence[RangeQuery]) -> np.ndarray:
+    """Exact counts of every query on the original data."""
+    return np.array([query.count(dataset) for query in workload], dtype=float)
+
+
+def dataset_answerer(dataset: Dataset) -> Callable[[RangeQuery], float]:
+    """Answer queries by counting rows of a (synthetic) dataset."""
+
+    def answer(query: RangeQuery) -> float:
+        return float(query.count(dataset))
+
+    return answer
+
+
+def _as_answer_function(source: AnswerSource) -> Callable[[RangeQuery], float]:
+    if isinstance(source, Dataset):
+        return dataset_answerer(source)
+    if isinstance(source, RangeQueryAnswerer):
+        return lambda query: float(source.range_count(list(query.ranges)))
+    if callable(source):
+        return source
+    raise TypeError(
+        f"cannot answer queries with {type(source).__name__}; expected a "
+        "Dataset, a RangeQueryAnswerer or a callable"
+    )
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Error summary of a workload against one answer source."""
+
+    mean_relative_error: float
+    median_relative_error: float
+    mean_absolute_error: float
+    max_relative_error: float
+    n_queries: int
+
+    def __str__(self) -> str:
+        return (
+            f"RE mean={self.mean_relative_error:.4f} "
+            f"median={self.median_relative_error:.4f} "
+            f"max={self.max_relative_error:.4f} "
+            f"ABS mean={self.mean_absolute_error:.2f} "
+            f"({self.n_queries} queries)"
+        )
+
+
+def evaluate_workload(
+    source: AnswerSource,
+    workload: Sequence[RangeQuery],
+    actual: Union[Dataset, np.ndarray],
+    sanity_bound: float = 1.0,
+) -> QueryEvaluation:
+    """Run a workload and summarize the paper's error metrics.
+
+    Parameters
+    ----------
+    source:
+        What answers the queries: a synthetic dataset, a noisy histogram
+        structure, or any ``RangeQuery -> float`` callable.
+    actual:
+        The original dataset, or a precomputed vector of true answers
+        (pass the latter when comparing several methods on one workload).
+    sanity_bound:
+        The paper's ``s`` (1 by default; 0.05% of cardinality for the US
+        dataset; 10 for the Brazil dataset).
+    """
+    if isinstance(actual, Dataset):
+        actual_values = true_answers(actual, workload)
+    else:
+        actual_values = np.asarray(actual, dtype=float)
+    if actual_values.size != len(workload):
+        raise ValueError(
+            f"{actual_values.size} true answers for {len(workload)} queries"
+        )
+    answer = _as_answer_function(source)
+    noisy_values = np.array([answer(query) for query in workload], dtype=float)
+
+    relative = np.abs(noisy_values - actual_values) / np.maximum(
+        actual_values, sanity_bound
+    )
+    absolute = np.abs(noisy_values - actual_values)
+    return QueryEvaluation(
+        mean_relative_error=float(relative.mean()),
+        median_relative_error=float(np.median(relative)),
+        mean_absolute_error=float(absolute.mean()),
+        max_relative_error=float(relative.max()),
+        n_queries=len(workload),
+    )

@@ -1,0 +1,141 @@
+"""Distributional utility metrics for synthetic data.
+
+The paper's evaluation uses range-count accuracy; these complementary
+metrics are the standard synthetic-data diagnostics a practitioner would
+also run, and the ablation/report tooling uses them:
+
+* per-margin total variation distance and Kolmogorov distance;
+* pairwise dependence error (max |Δτ| over attribute pairs);
+* two-way marginal error (TVD over a coarsened 2-D grid for each pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.stats.kendall import kendall_tau_matrix
+from repro.utils import RngLike, as_generator, check_int_at_least
+
+
+def _check_comparable(original: Dataset, synthetic: Dataset) -> None:
+    if original.schema != synthetic.schema:
+        raise ValueError("datasets must share a schema to be compared")
+    if original.n_records == 0 or synthetic.n_records == 0:
+        raise ValueError("cannot compare empty datasets")
+
+
+def margin_tvd(original: Dataset, synthetic: Dataset, index: int) -> float:
+    """Total variation distance between one attribute's distributions."""
+    _check_comparable(original, synthetic)
+    p = original.marginal_counts(index) / original.n_records
+    q = synthetic.marginal_counts(index) / synthetic.n_records
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def margin_kolmogorov(original: Dataset, synthetic: Dataset, index: int) -> float:
+    """Kolmogorov (sup-CDF) distance for one attribute."""
+    _check_comparable(original, synthetic)
+    p = np.cumsum(original.marginal_counts(index)) / original.n_records
+    q = np.cumsum(synthetic.marginal_counts(index)) / synthetic.n_records
+    return float(np.abs(p - q).max())
+
+
+def all_margin_tvds(original: Dataset, synthetic: Dataset) -> List[float]:
+    """TVD of every attribute, in schema order."""
+    return [
+        margin_tvd(original, synthetic, j) for j in range(original.dimensions)
+    ]
+
+
+def pairwise_tau_error(
+    original: Dataset,
+    synthetic: Dataset,
+    max_records: int = 4000,
+    rng: RngLike = 0,
+) -> float:
+    """Max absolute Kendall's-tau difference over all attribute pairs."""
+    _check_comparable(original, synthetic)
+    gen = as_generator(rng)
+    a = original.sample(max_records, gen).values
+    b = synthetic.sample(max_records, gen).values
+    return float(np.abs(kendall_tau_matrix(a) - kendall_tau_matrix(b)).max())
+
+
+def _two_way_histogram(
+    dataset: Dataset, i: int, j: int, bins: int
+) -> np.ndarray:
+    size_i = dataset.schema[i].domain_size
+    size_j = dataset.schema[j].domain_size
+    edges_i = np.unique(np.linspace(0, size_i, min(bins, size_i) + 1).astype(int))
+    edges_j = np.unique(np.linspace(0, size_j, min(bins, size_j) + 1).astype(int))
+    counts, _, _ = np.histogram2d(
+        dataset.column(i), dataset.column(j), bins=[edges_i, edges_j]
+    )
+    return counts / dataset.n_records
+
+
+def two_way_tvd(
+    original: Dataset, synthetic: Dataset, i: int, j: int, bins: int = 16
+) -> float:
+    """TVD between the (coarsened) two-way marginals of attributes i, j."""
+    _check_comparable(original, synthetic)
+    check_int_at_least("bins", bins, 2)
+    p = _two_way_histogram(original, i, j, bins)
+    q = _two_way_histogram(synthetic, i, j, bins)
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """All distributional metrics of one synthetic release."""
+
+    margin_tvds: Tuple[float, ...]
+    margin_kolmogorovs: Tuple[float, ...]
+    max_tau_error: float
+    two_way_tvds: Dict[Tuple[int, int], float]
+
+    @property
+    def worst_margin_tvd(self) -> float:
+        return max(self.margin_tvds)
+
+    @property
+    def worst_two_way_tvd(self) -> float:
+        return max(self.two_way_tvds.values()) if self.two_way_tvds else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"UtilityReport(worst margin TVD={self.worst_margin_tvd:.4f}, "
+            f"max |dtau|={self.max_tau_error:.4f}, "
+            f"worst 2-way TVD={self.worst_two_way_tvd:.4f})"
+        )
+
+
+def utility_report(
+    original: Dataset,
+    synthetic: Dataset,
+    two_way_bins: int = 16,
+    rng: RngLike = 0,
+) -> UtilityReport:
+    """Compute the full distributional diagnostic suite."""
+    _check_comparable(original, synthetic)
+    m = original.dimensions
+    tvds = tuple(all_margin_tvds(original, synthetic))
+    kolmogorovs = tuple(
+        margin_kolmogorov(original, synthetic, j) for j in range(m)
+    )
+    tau_error = pairwise_tau_error(original, synthetic, rng=rng)
+    pair_tvds = {
+        (i, j): two_way_tvd(original, synthetic, i, j, bins=two_way_bins)
+        for i in range(m)
+        for j in range(i + 1, m)
+    }
+    return UtilityReport(
+        margin_tvds=tvds,
+        margin_kolmogorovs=kolmogorovs,
+        max_tau_error=tau_error,
+        two_way_tvds=pair_tvds,
+    )

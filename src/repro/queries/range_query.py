@@ -1,0 +1,215 @@
+"""Random range-count queries (Section 5.1).
+
+The paper's workload::
+
+    SELECT COUNT(*) FROM D
+    WHERE A_1 ∈ I_1 AND A_2 ∈ I_2 AND ... AND A_m ∈ I_m
+
+with each ``I_i`` a random interval of attribute ``A_i``'s domain.  Two
+generators are provided: uniformly random intervals (the default
+workload), and fixed-volume workloads where the product of the per-axis
+range lengths is (approximately) a target value — the knob Figure 8
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Schema
+from repro.utils import RngLike, as_generator, check_int_at_least
+
+__all__ = [
+    "RangeQuery",
+    "random_workload",
+    "anchored_workload",
+    "workload_with_volume",
+]
+
+Range = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """An inclusive hyper-rectangle predicate over all attributes."""
+
+    ranges: Tuple[Range, ...]
+
+    def __post_init__(self) -> None:
+        for low, high in self.ranges:
+            if high < low:
+                raise ValueError(f"empty range ({low}, {high}) in query")
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.ranges)
+
+    def volume(self) -> float:
+        """Number of cells the query covers."""
+        vol = 1.0
+        for low, high in self.ranges:
+            vol *= float(high - low + 1)
+        return vol
+
+    def selectivity(self, schema: Schema) -> float:
+        """Covered fraction of the full domain space."""
+        return self.volume() / schema.domain_space()
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of records satisfying the predicate."""
+        values = np.asarray(values)
+        if values.shape[1] != self.dimensions:
+            raise ValueError(
+                f"query has {self.dimensions} ranges but data has "
+                f"{values.shape[1]} columns"
+            )
+        mask = np.ones(values.shape[0], dtype=bool)
+        for j, (low, high) in enumerate(self.ranges):
+            mask &= (values[:, j] >= low) & (values[:, j] <= high)
+        return mask
+
+    def count(self, dataset: Dataset) -> int:
+        """Exact answer on a dataset."""
+        return int(self.matches(dataset.values).sum())
+
+
+def _random_interval(domain_size: int, rng: np.random.Generator) -> Range:
+    """A uniformly random non-empty inclusive interval of the domain."""
+    a = int(rng.integers(0, domain_size))
+    b = int(rng.integers(0, domain_size))
+    return (a, b) if a <= b else (b, a)
+
+
+def random_workload(
+    schema: Schema,
+    n_queries: int,
+    rng: RngLike = None,
+) -> List[RangeQuery]:
+    """``n_queries`` queries with uniformly random intervals on every axis."""
+    check_int_at_least("n_queries", n_queries, 1)
+    gen = as_generator(rng)
+    workload = []
+    for _ in range(n_queries):
+        ranges = tuple(_random_interval(a.domain_size, gen) for a in schema)
+        workload.append(RangeQuery(ranges))
+    return workload
+
+
+def _interval_with_length(
+    domain_size: int, length: int, rng: np.random.Generator
+) -> Range:
+    """A random interval of exactly ``length`` cells (clamped to fit)."""
+    length = int(np.clip(length, 1, domain_size))
+    start = int(rng.integers(0, domain_size - length + 1))
+    return (start, start + length - 1)
+
+
+def anchored_workload(
+    dataset: Dataset,
+    n_queries: int,
+    rng: RngLike = None,
+) -> List[RangeQuery]:
+    """Random range queries guaranteed to contain at least one record.
+
+    Each query anchors on a uniformly chosen data record: on every axis
+    the interval's endpoints are drawn uniformly at or below / at or
+    above the record's value.  High-dimensional skewed data makes fully
+    random workloads degenerate (essentially every query is empty, so
+    every method scores a trivial zero); anchoring keeps the true
+    answers informative while preserving random shapes and positions.
+    """
+    check_int_at_least("n_queries", n_queries, 1)
+    if dataset.n_records == 0:
+        raise ValueError("cannot anchor queries on an empty dataset")
+    gen = as_generator(rng)
+    schema = dataset.schema
+    workload = []
+    for _ in range(n_queries):
+        record = dataset.values[int(gen.integers(0, dataset.n_records))]
+        ranges = []
+        for j, attribute in enumerate(schema):
+            value = int(record[j])
+            low = int(gen.integers(0, value + 1))
+            high = int(gen.integers(value, attribute.domain_size))
+            ranges.append((low, high))
+        workload.append(RangeQuery(tuple(ranges)))
+    return workload
+
+
+def workload_with_volume(
+    schema: Schema,
+    target_volume: float,
+    n_queries: int,
+    rng: RngLike = None,
+) -> List[RangeQuery]:
+    """Queries whose covered cell count is ≈ ``target_volume`` (Figure 8).
+
+    The target volume is factored into per-axis lengths by splitting its
+    logarithm randomly across axes (a random composition), so repeated
+    draws vary in shape while keeping the product fixed up to rounding.
+    """
+    check_int_at_least("n_queries", n_queries, 1)
+    if target_volume < 1:
+        raise ValueError(f"target_volume must be >= 1, got {target_volume}")
+    gen = as_generator(rng)
+    m = schema.dimensions
+    max_volume = schema.domain_space()
+    target_volume = min(float(target_volume), max_volume)
+    log_target = np.log(target_volume)
+
+    workload = []
+    for _ in range(n_queries):
+        # Random composition of log-volume across axes, respecting each
+        # axis's maximum length; residual spills to the remaining axes.
+        weights = gen.dirichlet(np.ones(m))
+        log_lengths = weights * log_target
+        lengths = []
+        order = gen.permutation(m)
+        log_lengths = log_lengths[order]
+        sizes = [schema[j].domain_size for j in order]
+        residual = 0.0
+        for position, (log_length, size) in enumerate(zip(log_lengths, sizes)):
+            if position == m - 1:
+                # Last axis absorbs all remaining volume exactly.
+                produced = float(np.prod(lengths)) if lengths else 1.0
+                desired = target_volume / produced
+            else:
+                desired = np.exp(log_length + residual)
+            actual = int(np.clip(round(desired), 1, size))
+            residual = log_length + residual - np.log(actual)
+            lengths.append(actual)
+        # Corrective pass: domain clipping can leave the volume far off
+        # target; redistribute onto axes that still have headroom.
+        for _ in range(4 * m):
+            volume = float(np.prod(lengths))
+            ratio = target_volume / volume
+            if 0.75 <= ratio <= 1.33:
+                break
+            if ratio > 1:
+                candidates = [j for j in range(m) if lengths[j] < sizes[j]]
+            else:
+                candidates = [j for j in range(m) if lengths[j] > 1]
+            if not candidates:
+                break
+            j = max(
+                candidates,
+                key=lambda i: sizes[i] / lengths[i] if ratio > 1 else lengths[i],
+            )
+            adjusted = int(np.clip(round(lengths[j] * ratio), 1, sizes[j]))
+            if adjusted == lengths[j]:
+                adjusted = int(
+                    np.clip(lengths[j] + (1 if ratio > 1 else -1), 1, sizes[j])
+                )
+            if adjusted == lengths[j]:
+                break
+            lengths[j] = adjusted
+        ranges: List[Range] = [None] * m  # type: ignore[list-item]
+        for position, j in enumerate(order):
+            ranges[j] = _interval_with_length(
+                schema[j].domain_size, lengths[position], gen
+            )
+        workload.append(RangeQuery(tuple(ranges)))
+    return workload

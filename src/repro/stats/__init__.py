@@ -1,0 +1,62 @@
+"""Statistical substrate: ECDFs, Kendall's tau, correlation transforms,
+positive-definiteness repair, Gaussian-copula likelihood, margin families."""
+
+from repro.stats.ecdf import (
+    EmpiricalCDF,
+    HistogramCDF,
+    pseudo_copula_transform,
+)
+from repro.stats.kendall import (
+    kendall_tau,
+    kendall_tau_matrix,
+    kendall_tau_merge,
+    kendall_tau_naive,
+)
+from repro.stats.correlation import (
+    correlation_from_spearman,
+    correlation_from_tau,
+    normal_scores_correlation,
+    spearman_rho,
+    tau_from_correlation,
+)
+from repro.stats.psd_repair import (
+    higham_nearest_correlation,
+    is_positive_definite,
+    make_positive_definite,
+)
+from repro.stats.copula_math import (
+    gaussian_copula_logdensity,
+    pairwise_copula_mle,
+)
+from repro.stats.distributions import margin_pmf
+from repro.stats.goodness_of_fit import (
+    GoodnessOfFitResult,
+    cramer_von_mises_uniform,
+    gaussian_copula_gof,
+    rosenblatt_transform,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "HistogramCDF",
+    "pseudo_copula_transform",
+    "kendall_tau",
+    "kendall_tau_naive",
+    "kendall_tau_merge",
+    "kendall_tau_matrix",
+    "correlation_from_tau",
+    "tau_from_correlation",
+    "normal_scores_correlation",
+    "spearman_rho",
+    "correlation_from_spearman",
+    "is_positive_definite",
+    "make_positive_definite",
+    "higham_nearest_correlation",
+    "gaussian_copula_logdensity",
+    "pairwise_copula_mle",
+    "margin_pmf",
+    "rosenblatt_transform",
+    "cramer_von_mises_uniform",
+    "gaussian_copula_gof",
+    "GoodnessOfFitResult",
+]

@@ -1,0 +1,110 @@
+"""Correlation transforms: Greiner's relation and normal-scores correlation.
+
+Equation (4) of the paper converts Kendall's tau into the Gaussian-copula
+correlation parameter via ``ρ = sin(π/2 · τ)`` (Greiner's relation, exact
+for elliptical distributions).  The inverse is used by tests and by the
+convergence diagnostics; normal-scores (van der Waerden) correlation is
+the one-step approximation to the Gaussian-copula MLE used to initialize
+the per-pair optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.utils import check_matrix_square
+
+
+def correlation_from_tau(tau):
+    """Equation (4): ``ρ = sin(π/2 · τ)``, elementwise.
+
+    Accepts a scalar or a matrix; matrix diagonals are forced to exactly 1.
+    """
+    tau_arr = np.asarray(tau, dtype=float)
+    rho = np.sin(np.pi / 2.0 * np.clip(tau_arr, -1.0, 1.0))
+    if rho.ndim == 2 and rho.shape[0] == rho.shape[1]:
+        np.fill_diagonal(rho, 1.0)
+    if np.isscalar(tau) or rho.ndim == 0:
+        return float(rho)
+    return rho
+
+
+def tau_from_correlation(rho):
+    """Inverse of Eq. (4): ``τ = (2/π) · arcsin(ρ)``, elementwise."""
+    rho_arr = np.asarray(rho, dtype=float)
+    tau = (2.0 / np.pi) * np.arcsin(np.clip(rho_arr, -1.0, 1.0))
+    if np.isscalar(rho) or tau.ndim == 0:
+        return float(tau)
+    return tau
+
+
+def spearman_rho(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman's rank correlation (average ranks for ties).
+
+    Provided for the ablation that backs the paper's design argument:
+    Section 3.2 chooses Kendall's tau over Spearman because tau "has
+    better statistical properties".  ``correlation_from_spearman`` is
+    the elliptical-conversion counterpart of Eq. (4).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError("Spearman's rho needs at least two observations")
+
+    def average_ranks(values: np.ndarray) -> np.ndarray:
+        order = np.argsort(values, kind="mergesort")
+        ranks = np.empty(values.size)
+        ranks[order] = np.arange(1, values.size + 1, dtype=float)
+        # Average the ranks within tied groups.
+        sorted_values = values[order]
+        boundaries = np.flatnonzero(np.diff(sorted_values) != 0) + 1
+        groups = np.split(np.arange(values.size), boundaries)
+        for group in groups:
+            if group.size > 1:
+                ranks[order[group]] = ranks[order[group]].mean()
+        return ranks
+
+    rx = average_ranks(x)
+    ry = average_ranks(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denominator = np.sqrt(np.dot(rx, rx) * np.dot(ry, ry))
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(rx, ry) / denominator)
+
+
+def correlation_from_spearman(rho_s):
+    """Pearson's relation for elliptical data: ``ρ = 2 sin(π ρ_s / 6)``.
+
+    The Spearman analogue of Eq. (4); exact for Gaussian dependence.
+    """
+    rho_arr = np.asarray(rho_s, dtype=float)
+    rho = 2.0 * np.sin(np.pi * np.clip(rho_arr, -1.0, 1.0) / 6.0)
+    if rho.ndim == 2 and rho.shape[0] == rho.shape[1]:
+        np.fill_diagonal(rho, 1.0)
+    if np.isscalar(rho_s) or rho.ndim == 0:
+        return float(rho)
+    return rho
+
+
+def normal_scores_correlation(pseudo_copula: np.ndarray) -> np.ndarray:
+    """Pearson correlation of probit-transformed pseudo-copula data.
+
+    For data whose dependence is a Gaussian copula, the correlation of
+    ``z = Φ⁻¹(u)`` is a consistent estimator of the copula's correlation
+    matrix and is the non-iterative step of the semi-parametric MLE.
+    """
+    u = np.asarray(pseudo_copula, dtype=float)
+    if u.ndim != 2:
+        raise ValueError(f"expected 2-D pseudo-copula data, got shape {u.shape}")
+    if not ((u > 0) & (u < 1)).all():
+        raise ValueError("pseudo-copula values must lie strictly inside (0, 1)")
+    z = sps.norm.ppf(u)
+    corr = np.corrcoef(z, rowvar=False)
+    corr = np.atleast_2d(corr)
+    np.fill_diagonal(corr, 1.0)
+    return check_matrix_square("normal-scores correlation", corr)

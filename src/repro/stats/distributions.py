@@ -1,0 +1,84 @@
+"""Discrete margin families used by the synthetic generators.
+
+The paper's synthetic experiments (Section 5.4) use Gaussian, uniform and
+Zipf margins over integer domains.  Each helper returns a probability mass
+function over ``{0, ..., domain_size - 1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.utils import check_int_at_least, check_positive
+
+
+def uniform_pmf(domain_size: int) -> np.ndarray:
+    """Uniform pmf over the integer domain."""
+    check_int_at_least("domain_size", domain_size, 1)
+    return np.full(domain_size, 1.0 / domain_size)
+
+
+def gaussian_pmf(domain_size: int, spread: float = 4.0) -> np.ndarray:
+    """Discretized Gaussian centred on the middle of the domain.
+
+    ``spread`` is the number of standard deviations the domain covers; the
+    default of 4 gives a clearly peaked but not degenerate margin.
+    """
+    check_int_at_least("domain_size", domain_size, 1)
+    check_positive("spread", spread)
+    if domain_size == 1:
+        return np.array([1.0])
+    mean = (domain_size - 1) / 2.0
+    sigma = domain_size / spread
+    edges = np.arange(domain_size + 1) - 0.5
+    cdf = sps.norm.cdf(edges, loc=mean, scale=sigma)
+    pmf = np.diff(cdf)
+    return pmf / pmf.sum()
+
+
+def zipf_pmf(domain_size: int, exponent: float = 1.2) -> np.ndarray:
+    """Bounded Zipf pmf: ``p(i) ∝ (i + 1) ** -exponent``.
+
+    Heavily skewed toward small values, matching the paper's "zipf
+    distribution" margins that stress methods on skewed data.
+    """
+    check_int_at_least("domain_size", domain_size, 1)
+    check_positive("exponent", exponent)
+    ranks = np.arange(1, domain_size + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def margin_pmf(
+    spec: Union[str, Sequence[float]],
+    domain_size: int,
+    zipf_exponent: float = 1.2,
+    gaussian_spread: float = 4.0,
+) -> np.ndarray:
+    """Resolve a margin spec (family name or explicit pmf) to a pmf array."""
+    if isinstance(spec, str):
+        family = spec.lower()
+        if family == "uniform":
+            return uniform_pmf(domain_size)
+        if family in ("gaussian", "normal"):
+            return gaussian_pmf(domain_size, spread=gaussian_spread)
+        if family == "zipf":
+            return zipf_pmf(domain_size, exponent=zipf_exponent)
+        raise ValueError(
+            f"unknown margin family {spec!r}; expected 'gaussian', 'uniform', "
+            "'zipf' or an explicit pmf"
+        )
+    pmf = np.asarray(spec, dtype=float)
+    if pmf.ndim != 1 or pmf.size != domain_size:
+        raise ValueError(
+            f"explicit pmf must be 1-D with length {domain_size}, got shape {pmf.shape}"
+        )
+    if (pmf < 0).any():
+        raise ValueError("pmf entries must be non-negative")
+    total = pmf.sum()
+    if total <= 0:
+        raise ValueError("pmf must have positive total mass")
+    return pmf / total

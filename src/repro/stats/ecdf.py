@@ -1,0 +1,149 @@
+"""Empirical CDFs, histogram-backed CDFs and the pseudo-copula transform.
+
+Equation (2) of the paper estimates each marginal CDF empirically with an
+``n + 1`` denominator (keeping values strictly below 1 so the probit
+transform stays finite); Equation (3) maps each column through its own
+empirical CDF to produce *pseudo-copula data* on ``(0, 1)``.
+
+The DP pipeline never sees the exact empirical CDF: margins are released
+as noisy histograms and the CDF is reconstructed from the sanitized
+counts.  :class:`HistogramCDF` implements that reconstruction (clip
+negatives, normalize, cumulative-sum) together with the inverse transform
+used by the sampler (Algorithm 3), interpolating uniformly within a bin so
+synthetic values spread across the bin instead of piling on its left edge.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """The paper's Eq. (2) empirical CDF of a 1-D sample.
+
+    ``F̂(x) = (1 / (n + 1)) * #{ i : X_i <= x }`` — values lie in
+    ``(0, 1)`` for every in-sample point, which keeps ``Φ⁻¹(F̂(X))``
+    finite.
+    """
+
+    def __init__(self, sample: Sequence[float]):
+        sample = np.asarray(sample, dtype=float)
+        if sample.ndim != 1 or sample.size == 0:
+            raise ValueError("EmpiricalCDF needs a non-empty 1-D sample")
+        self._sorted = np.sort(sample)
+        self._n = sample.size
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def __call__(self, x) -> np.ndarray:
+        """Evaluate ``F̂`` at ``x`` (scalar or array)."""
+        counts = np.searchsorted(self._sorted, np.asarray(x, dtype=float), side="right")
+        return counts / (self._n + 1.0)
+
+    def inverse(self, u) -> np.ndarray:
+        """Generalized inverse: smallest sample value with ``F̂(x) >= u``."""
+        u = np.asarray(u, dtype=float)
+        ranks = np.ceil(u * (self._n + 1.0)).astype(int) - 1
+        ranks = np.clip(ranks, 0, self._n - 1)
+        return self._sorted[ranks]
+
+
+def pseudo_copula_transform(values: np.ndarray) -> np.ndarray:
+    """Equation (3): column-wise empirical-CDF transform onto ``(0, 1)``.
+
+    Uses ranks directly (equivalent to evaluating each column's Eq.-(2)
+    ECDF at its own points) so the result is exactly
+    ``rank / (n + 1)`` with average ranks for ties.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    n, m = values.shape
+    if n == 0:
+        raise ValueError("cannot transform an empty sample")
+    out = np.empty_like(values)
+    for j in range(m):
+        column = values[:, j]
+        order = np.argsort(column, kind="mergesort")
+        sorted_col = column[order]
+        # right-side counts give the Eq.-(2) value at each point, and
+        # automatically assign tied values their common (maximal) rank.
+        counts = np.searchsorted(sorted_col, column, side="right")
+        out[:, j] = counts / (n + 1.0)
+    return out
+
+
+class HistogramCDF:
+    """CDF over an integer domain reconstructed from (noisy) bin counts.
+
+    Post-processing applied to the raw DP counts, none of which touches
+    the privacy guarantee:
+
+    1. negative counts are clipped to zero (non-negativity);
+    2. if everything clips to zero the distribution falls back to uniform;
+    3. counts are normalized into a pmf and accumulated into a CDF.
+
+    The forward transform maps a domain value ``v`` to the CDF evaluated
+    at the *midpoint* of its bin, i.e. ``F(v-1) + pmf(v)/2``, which is the
+    standard continuity correction that makes discrete data approximately
+    continuous (Section 3.2 of the paper).  The inverse transform maps a
+    uniform ``u`` back to the bin containing it.
+    """
+
+    def __init__(self, counts: Sequence[float]):
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 1 or counts.size == 0:
+            raise ValueError("HistogramCDF needs a non-empty 1-D count vector")
+        clipped = np.clip(counts, 0.0, None)
+        total = clipped.sum()
+        if total <= 0:
+            clipped = np.ones_like(clipped)
+            total = clipped.sum()
+        self._pmf = clipped / total
+        self._cdf = np.cumsum(self._pmf)
+        self._cdf[-1] = 1.0
+        self._total_mass = float(max(total, 0.0))
+
+    @property
+    def domain_size(self) -> int:
+        return self._pmf.size
+
+    @property
+    def pmf(self) -> np.ndarray:
+        return self._pmf.copy()
+
+    @property
+    def cdf(self) -> np.ndarray:
+        return self._cdf.copy()
+
+    @property
+    def total_mass(self) -> float:
+        """Sum of the clipped input counts (a noisy estimate of n)."""
+        return self._total_mass
+
+    def __call__(self, values) -> np.ndarray:
+        """Midpoint-corrected CDF at integer domain values."""
+        values = np.asarray(values)
+        idx = np.clip(values.astype(int), 0, self.domain_size - 1)
+        left = np.where(idx > 0, self._cdf[np.maximum(idx - 1, 0)], 0.0)
+        return left + self._pmf[idx] / 2.0
+
+    def inverse(self, u) -> np.ndarray:
+        """Map uniforms on ``[0, 1]`` back to integer domain values."""
+        u = np.asarray(u, dtype=float)
+        idx = np.searchsorted(self._cdf, np.clip(u, 0.0, 1.0), side="left")
+        return np.clip(idx, 0, self.domain_size - 1).astype(np.int64)
+
+    def range_mass(self, low: int, high: int) -> float:
+        """Probability mass of the inclusive integer interval [low, high]."""
+        low = max(int(low), 0)
+        high = min(int(high), self.domain_size - 1)
+        if high < low:
+            return 0.0
+        upper = self._cdf[high]
+        lower = self._cdf[low - 1] if low > 0 else 0.0
+        return float(upper - lower)

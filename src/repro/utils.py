@@ -1,0 +1,64 @@
+"""Shared small utilities: RNG handling and argument validation.
+
+Every randomized component in this library accepts an optional ``rng``
+argument.  Passing ``None`` gives a fresh non-deterministic generator;
+passing an ``int`` seeds a new generator; passing a
+:class:`numpy.random.Generator` uses it directly.  This keeps experiments
+reproducible end-to-end while letting library users ignore seeding
+entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    >>> g = as_generator(42)
+    >>> isinstance(g, np.random.Generator)
+    True
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite positive number."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_int_at_least(name: str, value: int, minimum: int) -> int:
+    """Raise ``ValueError`` unless ``value`` is an integer >= ``minimum``."""
+    if int(value) != value or value < minimum:
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {value!r}")
+    return int(value)
+
+
+def check_matrix_square(name: str, matrix: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` unless ``matrix`` is a square 2-D array."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def pairs_count(m: int) -> int:
+    """Number of unordered attribute pairs, ``C(m, 2)``."""
+    check_int_at_least("m", m, 1)
+    return m * (m - 1) // 2

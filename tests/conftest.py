@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic datasets and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def schema_2d() -> Schema:
+    return Schema([Attribute("x", 50), Attribute("y", 40)])
+
+
+@pytest.fixture
+def small_dataset(schema_2d, rng) -> Dataset:
+    """200 correlated records on a 50x40 grid."""
+    latent = rng.multivariate_normal(
+        [0, 0], [[1.0, 0.7], [0.7, 1.0]], size=200
+    )
+    x = np.clip(((latent[:, 0] + 3) / 6 * 50).astype(int), 0, 49)
+    y = np.clip(((latent[:, 1] + 3) / 6 * 40).astype(int), 0, 39)
+    return Dataset(np.column_stack([x, y]), schema_2d)
+
+
+@pytest.fixture
+def synthetic_4d() -> Dataset:
+    """2000 records, 4 attributes, Gaussian dependence, fixed seed."""
+    correlation = np.array(
+        [
+            [1.0, 0.6, 0.3, 0.1],
+            [0.6, 1.0, 0.4, 0.2],
+            [0.3, 0.4, 1.0, 0.5],
+            [0.1, 0.2, 0.5, 1.0],
+        ]
+    )
+    spec = SyntheticSpec(
+        n_records=2000,
+        domain_sizes=(60, 60, 60, 60),
+        margins="gaussian",
+        correlation=correlation,
+    )
+    return gaussian_dependence_data(spec, rng=7)
+
+
+@pytest.fixture
+def mixed_schema_dataset(rng) -> Dataset:
+    """A dataset with two binary and two large-domain attributes."""
+    n = 800
+    gender = rng.integers(0, 2, size=n)
+    flag = rng.integers(0, 2, size=n)
+    age = rng.integers(0, 90, size=n)
+    income = np.minimum((rng.exponential(40, size=n)).astype(int), 199)
+    schema = Schema(
+        [
+            Attribute("gender", 2),
+            Attribute("flag", 2),
+            Attribute("age", 90),
+            Attribute("income", 200),
+        ]
+    )
+    return Dataset(np.column_stack([gender, flag, age, income]), schema)

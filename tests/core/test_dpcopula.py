@@ -1,0 +1,149 @@
+"""Tests for the DPCopula synthesizers (Algorithms 1 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpcopula import DPCopulaKendall, DPCopulaMLE
+from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+from repro.histograms.identity import IdentityPublisher
+from repro.stats.correlation import correlation_from_tau
+from repro.stats.kendall import kendall_tau
+
+
+@pytest.fixture(params=[DPCopulaKendall, DPCopulaMLE])
+def synthesizer_class(request):
+    return request.param
+
+
+class TestFitSample:
+    def test_output_matches_input_shape(self, synthetic_4d, synthesizer_class):
+        synthesizer = synthesizer_class(epsilon=1.0, rng=0)
+        synthetic = synthesizer.fit_sample(synthetic_4d)
+        assert synthetic.n_records == synthetic_4d.n_records
+        assert synthetic.schema == synthetic_4d.schema
+
+    def test_sample_size_override(self, synthetic_4d, synthesizer_class):
+        synthesizer = synthesizer_class(epsilon=1.0, rng=0).fit(synthetic_4d)
+        assert synthesizer.sample(123).n_records == 123
+
+    def test_budget_fully_spent_and_never_exceeded(
+        self, synthetic_4d, synthesizer_class
+    ):
+        synthesizer = synthesizer_class(epsilon=0.7, rng=0).fit(synthetic_4d)
+        budget = synthesizer.budget_
+        assert budget.epsilon == pytest.approx(0.7)
+        assert budget.spent == pytest.approx(0.7)
+
+    def test_budget_split_follows_k(self, synthetic_4d):
+        synthesizer = DPCopulaKendall(epsilon=0.9, k=8.0, rng=0)
+        assert synthesizer.epsilon1 == pytest.approx(0.8)
+        assert synthesizer.epsilon2 == pytest.approx(0.1)
+        synthesizer.fit(synthetic_4d)
+        margin_spends = [a for label, a in synthesizer.budget_.log if "margin" in label]
+        assert len(margin_spends) == 4
+        assert sum(margin_spends) == pytest.approx(0.8)
+
+    def test_sampling_is_pure_postprocessing(self, synthetic_4d, synthesizer_class):
+        """Repeated sampling must not change the spent budget."""
+        synthesizer = synthesizer_class(epsilon=1.0, rng=0).fit(synthetic_4d)
+        spent_before = synthesizer.budget_.spent
+        for _ in range(3):
+            synthesizer.sample(100)
+        assert synthesizer.budget_.spent == spent_before
+
+    def test_unfitted_sample_raises(self, synthesizer_class):
+        with pytest.raises(RuntimeError):
+            synthesizer_class(epsilon=1.0).sample(10)
+
+    def test_rejects_tiny_dataset(self, synthesizer_class, schema_2d):
+        from repro.data.dataset import Dataset
+
+        data = Dataset(np.array([[0, 0]]), schema_2d)
+        with pytest.raises(ValueError):
+            synthesizer_class(epsilon=1.0).fit(data)
+
+    def test_rejects_bad_epsilon(self, synthesizer_class):
+        with pytest.raises(ValueError):
+            synthesizer_class(epsilon=-1.0)
+
+    def test_repr_reflects_state(self, synthetic_4d):
+        synthesizer = DPCopulaKendall(epsilon=1.0, rng=0)
+        assert "fitted=False" in repr(synthesizer)
+        synthesizer.fit(synthetic_4d)
+        assert "fitted=True" in repr(synthesizer)
+
+
+class TestStatisticalFidelity:
+    def test_margins_preserved_at_high_epsilon(self):
+        spec = SyntheticSpec(n_records=20_000, domain_sizes=(50, 50), margins="zipf")
+        data = gaussian_dependence_data(spec, rng=0)
+        synthesizer = DPCopulaKendall(
+            epsilon=1e5, margin_publisher=IdentityPublisher(), rng=1
+        )
+        synthetic = synthesizer.fit_sample(data)
+        for j in range(2):
+            original = data.marginal_counts(j) / data.n_records
+            produced = synthetic.marginal_counts(j) / synthetic.n_records
+            assert np.abs(original - produced).max() < 0.02
+
+    def test_dependence_preserved_at_high_epsilon(self):
+        correlation = np.array([[1.0, 0.75], [0.75, 1.0]])
+        spec = SyntheticSpec(
+            n_records=10_000, domain_sizes=(200, 200), correlation=correlation
+        )
+        data = gaussian_dependence_data(spec, rng=2)
+        synthesizer = DPCopulaKendall(
+            epsilon=1e5, margin_publisher=IdentityPublisher(), subsample=None, rng=3
+        )
+        synthetic = synthesizer.fit_sample(data)
+        tau = kendall_tau(synthetic.column(0), synthetic.column(1))
+        assert correlation_from_tau(tau) == pytest.approx(0.75, abs=0.06)
+
+    def test_kendall_beats_mle_correlation_accuracy(self):
+        """Figure 6's mechanism-level claim: the Kendall estimator's
+        correlation matrix is closer to the truth than the MLE one at
+        equal budget.  At m = 4 the paper's partition bound forces tiny
+        MLE blocks, whose rank-based per-block estimates attenuate —
+        exactly the weakness Figure 6 reports."""
+        from repro.data.synthetic import random_correlation_matrix
+
+        correlation = random_correlation_matrix(4, rng=4, strength=0.6)
+        spec = SyntheticSpec(
+            n_records=20_000,
+            domain_sizes=(300,) * 4,
+            correlation=correlation,
+        )
+        data = gaussian_dependence_data(spec, rng=4)
+        kendall_errors, mle_errors = [], []
+        for seed in range(6):
+            k = DPCopulaKendall(epsilon=0.5, rng=seed).fit(data)
+            m = DPCopulaMLE(epsilon=0.5, rng=seed).fit(data)
+            kendall_errors.append(np.abs(k.correlation_ - correlation).max())
+            mle_errors.append(np.abs(m.correlation_ - correlation).max())
+        assert np.mean(kendall_errors) < np.mean(mle_errors)
+
+    def test_correlation_matrix_always_valid(self, synthetic_4d):
+        for epsilon in (0.01, 0.1, 1.0):
+            synthesizer = DPCopulaKendall(epsilon=epsilon, rng=5).fit(synthetic_4d)
+            matrix = synthesizer.correlation_
+            assert np.allclose(np.diag(matrix), 1.0)
+            assert np.linalg.eigvalsh(matrix).min() > 0
+
+
+class TestConfiguration:
+    def test_custom_margin_publisher(self, synthetic_4d):
+        synthesizer = DPCopulaKendall(
+            epsilon=1.0, margin_publisher=IdentityPublisher(), rng=0
+        )
+        synthetic = synthesizer.fit_sample(synthetic_4d)
+        assert synthetic.n_records == synthetic_4d.n_records
+
+    def test_mle_partition_override(self, synthetic_4d):
+        synthesizer = DPCopulaMLE(epsilon=1.0, l=20, rng=0)
+        synthesizer.fit(synthetic_4d)
+        assert synthesizer.correlation_ is not None
+
+    def test_kendall_without_subsampling(self, synthetic_4d):
+        synthesizer = DPCopulaKendall(epsilon=1.0, subsample=None, rng=0)
+        synthesizer.fit(synthetic_4d)
+        assert synthesizer.correlation_ is not None

@@ -1,0 +1,119 @@
+"""Tests for the hybrid scheme (Algorithm 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import DPCopulaHybrid
+from repro.data.dataset import Attribute, Dataset, Schema
+
+
+class TestHybridFitSample:
+    def test_output_schema_matches(self, mixed_schema_dataset):
+        hybrid = DPCopulaHybrid(epsilon=2.0, rng=0)
+        synthetic = hybrid.fit_sample(mixed_schema_dataset)
+        assert synthetic.schema == mixed_schema_dataset.schema
+
+    def test_cardinality_close_to_original(self, mixed_schema_dataset):
+        hybrid = DPCopulaHybrid(epsilon=5.0, rng=1)
+        synthetic = hybrid.fit_sample(mixed_schema_dataset)
+        assert synthetic.n_records == pytest.approx(
+            mixed_schema_dataset.n_records, rel=0.1
+        )
+
+    def test_partition_proportions_preserved(self, mixed_schema_dataset):
+        """The noisy per-cell counts should track the true cell sizes."""
+        hybrid = DPCopulaHybrid(epsilon=10.0, rng=2)
+        synthetic = hybrid.fit_sample(mixed_schema_dataset)
+        for g in (0, 1):
+            for f in (0, 1):
+                true_count = int(
+                    (
+                        (mixed_schema_dataset.column(0) == g)
+                        & (mixed_schema_dataset.column(1) == f)
+                    ).sum()
+                )
+                synth_count = int(
+                    ((synthetic.column(0) == g) & (synthetic.column(1) == f)).sum()
+                )
+                assert synth_count == pytest.approx(true_count, abs=30)
+
+    def test_small_domain_autodetection(self, mixed_schema_dataset):
+        hybrid = DPCopulaHybrid(epsilon=2.0, rng=3)
+        hybrid.fit_sample(mixed_schema_dataset)
+        # gender and flag are binary -> both partitioned on.
+        small = mixed_schema_dataset.schema.small_domain_indices()
+        assert small == [0, 1]
+
+    def test_explicit_small_domain_indices(self, mixed_schema_dataset):
+        hybrid = DPCopulaHybrid(
+            epsilon=2.0, small_domain_indices=[0], rng=4
+        )
+        synthetic = hybrid.fit_sample(mixed_schema_dataset)
+        assert synthetic.schema == mixed_schema_dataset.schema
+
+    def test_no_small_domains_falls_back_to_plain_dpcopula(self, synthetic_4d):
+        hybrid = DPCopulaHybrid(epsilon=1.0, rng=5)
+        synthetic = hybrid.fit_sample(synthetic_4d)
+        assert synthetic.n_records == synthetic_4d.n_records
+        assert hybrid.budget_.spent == pytest.approx(1.0)
+
+    def test_budget_accounting(self, mixed_schema_dataset):
+        hybrid = DPCopulaHybrid(epsilon=1.0, partition_fraction=0.2, rng=6)
+        hybrid.fit_sample(mixed_schema_dataset)
+        budget = hybrid.budget_
+        assert budget.epsilon == pytest.approx(1.0)
+        assert budget.spent == pytest.approx(1.0)
+        labels = [label for label, _ in budget.log]
+        assert "partition counts" in labels
+        assert "per-partition DPCopula" in labels
+
+    def test_mle_variant(self, mixed_schema_dataset):
+        hybrid = DPCopulaHybrid(epsilon=2.0, method="mle", rng=7)
+        synthetic = hybrid.fit_sample(mixed_schema_dataset)
+        assert synthetic.schema == mixed_schema_dataset.schema
+
+    def test_empty_cells_get_few_records(self, rng):
+        """A cell absent from the data should only gain noise-level mass."""
+        schema = Schema(
+            [Attribute("flag", 2), Attribute("value", 100)]
+        )
+        n = 500
+        values = np.column_stack(
+            [np.zeros(n, dtype=int), rng.integers(0, 100, size=n)]
+        )
+        data = Dataset(values, schema)
+        hybrid = DPCopulaHybrid(epsilon=5.0, rng=8)
+        synthetic = hybrid.fit_sample(data)
+        phantom = int((synthetic.column(0) == 1).sum())
+        assert phantom < 20
+
+    def test_rejects_all_small_domains(self, rng):
+        schema = Schema([Attribute("a", 2), Attribute("b", 3)])
+        data = Dataset(
+            np.column_stack(
+                [rng.integers(0, 2, 50), rng.integers(0, 3, 50)]
+            ),
+            schema,
+        )
+        with pytest.raises(ValueError):
+            DPCopulaHybrid(epsilon=1.0, rng=9).fit_sample(data)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DPCopulaHybrid(epsilon=1.0, partition_fraction=0.0)
+        with pytest.raises(ValueError):
+            DPCopulaHybrid(epsilon=1.0, method="quantum")
+        with pytest.raises(ValueError):
+            DPCopulaHybrid(epsilon=0.0)
+
+    def test_rejects_partition_explosion(self, rng):
+        schema = Schema(
+            [Attribute(f"s{i}", 9) for i in range(6)] + [Attribute("big", 100)]
+        )
+        values = np.column_stack(
+            [rng.integers(0, 9, 40) for _ in range(6)]
+            + [rng.integers(0, 100, 40)]
+        )
+        data = Dataset(values, schema)
+        with pytest.raises(ValueError):
+            DPCopulaHybrid(epsilon=1.0, rng=10).fit_sample(data)

@@ -1,0 +1,80 @@
+"""Tests for DP marginal publishing (step 1 of Algorithms 1/4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.margins import DPMargins
+from repro.dp.budget import PrivacyBudget
+from repro.histograms.identity import IdentityPublisher
+
+
+class TestDPMarginsFit:
+    def test_one_cdf_per_attribute(self, synthetic_4d):
+        margins = DPMargins().fit(synthetic_4d, epsilon1=1.0, rng=0)
+        assert margins.dimensions == 4
+        assert len(margins.cdfs) == 4
+
+    def test_cdf_domains_match_schema(self, synthetic_4d):
+        margins = DPMargins().fit(synthetic_4d, epsilon1=1.0, rng=0)
+        for cdf, attribute in zip(margins.cdfs, synthetic_4d.schema):
+            assert cdf.domain_size == attribute.domain_size
+
+    def test_budget_ledger_charged_per_margin(self, synthetic_4d):
+        budget = PrivacyBudget(2.0)
+        DPMargins().fit(synthetic_4d, epsilon1=1.0, rng=0, budget=budget)
+        assert budget.spent == pytest.approx(1.0)
+        assert len(budget.log) == 4
+        assert all(amount == pytest.approx(0.25) for _, amount in budget.log)
+
+    def test_accurate_at_high_epsilon(self, synthetic_4d):
+        margins = DPMargins(publisher=IdentityPublisher()).fit(
+            synthetic_4d, epsilon1=1e6, rng=0
+        )
+        exact = synthetic_4d.marginal_counts(0)
+        exact_pmf = exact / exact.sum()
+        assert np.abs(margins.cdfs[0].pmf - exact_pmf).max() < 1e-4
+
+    def test_unfitted_access_raises(self):
+        margins = DPMargins()
+        with pytest.raises(RuntimeError):
+            _ = margins.cdfs
+
+    def test_rejects_bad_epsilon(self, synthetic_4d):
+        with pytest.raises(ValueError):
+            DPMargins().fit(synthetic_4d, epsilon1=0.0)
+
+
+class TestTransforms:
+    def test_transform_range(self, synthetic_4d):
+        margins = DPMargins().fit(synthetic_4d, epsilon1=10.0, rng=0)
+        u = margins.transform(synthetic_4d.values[:100])
+        assert u.shape == (100, 4)
+        assert (u > 0).all() and (u < 1).all()
+
+    def test_inverse_transform_in_domain(self, synthetic_4d):
+        margins = DPMargins().fit(synthetic_4d, epsilon1=10.0, rng=0)
+        uniforms = np.random.default_rng(1).uniform(size=(200, 4))
+        values = margins.inverse_transform(uniforms)
+        for j, attribute in enumerate(synthetic_4d.schema):
+            assert values[:, j].min() >= 0
+            assert values[:, j].max() < attribute.domain_size
+
+    def test_transform_rejects_wrong_width(self, synthetic_4d):
+        margins = DPMargins().fit(synthetic_4d, epsilon1=1.0, rng=0)
+        with pytest.raises(ValueError):
+            margins.transform(np.zeros((5, 3)))
+
+    def test_inverse_rejects_wrong_width(self, synthetic_4d):
+        margins = DPMargins().fit(synthetic_4d, epsilon1=1.0, rng=0)
+        with pytest.raises(ValueError):
+            margins.inverse_transform(np.zeros((5, 2)))
+
+
+class TestEstimatedTotal:
+    def test_close_to_n_at_high_epsilon(self, synthetic_4d):
+        margins = DPMargins(publisher=IdentityPublisher()).fit(
+            synthetic_4d, epsilon1=100.0, rng=0
+        )
+        assert margins.estimated_total() == pytest.approx(
+            synthetic_4d.n_records, rel=0.05
+        )

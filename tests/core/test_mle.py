@@ -1,0 +1,113 @@
+"""Tests for Algorithm 2 (subsample-and-aggregate DP MLE)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mle import (
+    _blockwise_normal_scores,
+    dp_mle_correlation,
+    required_partitions,
+)
+from repro.stats.psd_repair import is_positive_definite
+
+
+def _gaussian_sample(correlation, n, seed):
+    rng = np.random.default_rng(seed)
+    m = correlation.shape[0]
+    return rng.multivariate_normal(np.zeros(m), correlation, size=n)
+
+
+class TestRequiredPartitions:
+    def test_paper_bound(self):
+        # l > C(m,2) / (0.025 * eps2)
+        assert required_partitions(8, 1.0) == int(np.ceil(28 / 0.025))
+        assert required_partitions(2, 0.5) == 80
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            required_partitions(4, 0.0)
+
+
+class TestBlockwiseNormalScores:
+    def test_shape(self):
+        blocks = np.random.default_rng(0).standard_normal((5, 50, 3))
+        out = _blockwise_normal_scores(blocks)
+        assert out.shape == (5, 3, 3)
+
+    def test_each_block_is_correlation(self):
+        blocks = np.random.default_rng(1).standard_normal((4, 100, 3))
+        out = _blockwise_normal_scores(blocks)
+        for matrix in out:
+            assert np.allclose(np.diag(matrix), 1.0)
+            assert np.abs(matrix).max() <= 1.0 + 1e-9
+
+    def test_matches_single_block_normal_scores(self):
+        from repro.stats.correlation import normal_scores_correlation
+        from repro.stats.ecdf import pseudo_copula_transform
+
+        data = np.random.default_rng(2).standard_normal((200, 3))
+        blocked = _blockwise_normal_scores(data[None])
+        direct = normal_scores_correlation(pseudo_copula_transform(data))
+        assert np.allclose(blocked[0], direct, atol=1e-10)
+
+    def test_recovers_dependence(self):
+        correlation = np.array([[1.0, 0.8], [0.8, 1.0]])
+        data = _gaussian_sample(correlation, 6000, 3)
+        out = _blockwise_normal_scores(data.reshape(10, 600, 2))
+        assert out.mean(axis=0)[0, 1] == pytest.approx(0.8, abs=0.05)
+
+
+class TestDPMLECorrelation:
+    def test_output_is_pd_correlation(self, synthetic_4d):
+        matrix = dp_mle_correlation(synthetic_4d.values.astype(float), 1.0, rng=0)
+        assert matrix.shape == (4, 4)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert is_positive_definite(matrix)
+
+    def test_recovers_correlation_with_ample_data_and_budget(self):
+        correlation = np.array([[1.0, 0.6], [0.6, 1.0]])
+        data = _gaussian_sample(correlation, 40_000, 1)
+        matrix = dp_mle_correlation(data, 100.0, l=50, rng=2)
+        assert matrix[0, 1] == pytest.approx(0.6, abs=0.08)
+
+    def test_l_caps_to_keep_blocks_viable(self):
+        # Paper bound would demand l in the thousands; with only 200
+        # records the implementation must cap l rather than crash.
+        data = _gaussian_sample(np.eye(3), 200, 3)
+        matrix = dp_mle_correlation(data, 0.1, rng=4)
+        assert is_positive_definite(matrix)
+
+    def test_pairwise_mle_estimator(self):
+        correlation = np.array([[1.0, 0.5], [0.5, 1.0]])
+        data = _gaussian_sample(correlation, 2000, 5)
+        matrix = dp_mle_correlation(
+            data, 50.0, l=8, rng=6, estimator="pairwise_mle"
+        )
+        assert matrix[0, 1] == pytest.approx(0.5, abs=0.15)
+
+    def test_noise_decreases_with_more_partitions(self):
+        """The coefficient noise scale is Λ C(m,2) / (l ε₂): doubling l
+        should shrink the spread of the released coefficient."""
+        data = _gaussian_sample(np.eye(2), 20_000, 7)
+        spreads = {}
+        for l in (10, 200):
+            estimates = [
+                dp_mle_correlation(data, 0.5, l=l, rng=seed)[0, 1]
+                for seed in range(25)
+            ]
+            spreads[l] = np.std(estimates)
+        assert spreads[200] < spreads[10]
+
+    def test_single_column_identity(self):
+        matrix = dp_mle_correlation(np.zeros((50, 1)), 1.0, rng=8)
+        assert (matrix == np.eye(1)).all()
+
+    def test_rejects_unknown_estimator(self, synthetic_4d):
+        with pytest.raises(ValueError):
+            dp_mle_correlation(
+                synthetic_4d.values.astype(float), 1.0, estimator="bayes"
+            )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            dp_mle_correlation(np.zeros(10), 1.0)

@@ -1,0 +1,94 @@
+"""Tests for Algorithm 3 (sampling DP synthetic data)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import sample_pseudo_copula, sample_synthetic
+from repro.data.dataset import Schema
+from repro.stats.correlation import correlation_from_tau
+from repro.stats.ecdf import HistogramCDF
+from repro.stats.kendall import kendall_tau
+
+
+class TestSamplePseudoCopula:
+    def test_shape_and_range(self):
+        correlation = np.array([[1.0, 0.5], [0.5, 1.0]])
+        u = sample_pseudo_copula(correlation, 500, rng=0)
+        assert u.shape == (500, 2)
+        assert (u > 0).all() and (u < 1).all()
+
+    def test_uniform_margins(self):
+        correlation = np.array([[1.0, 0.8], [0.8, 1.0]])
+        u = sample_pseudo_copula(correlation, 20_000, rng=1)
+        # Kolmogorov distance of each margin from U(0,1).
+        for j in range(2):
+            sorted_u = np.sort(u[:, j])
+            grid = (np.arange(1, 20_001)) / 20_001
+            assert np.abs(sorted_u - grid).max() < 0.02
+
+    def test_dependence_matches_correlation(self):
+        rho = 0.7
+        correlation = np.array([[1.0, rho], [rho, 1.0]])
+        u = sample_pseudo_copula(correlation, 8000, rng=2)
+        tau = kendall_tau(u[:, 0], u[:, 1])
+        assert correlation_from_tau(tau) == pytest.approx(rho, abs=0.05)
+
+    def test_repairs_indefinite_input(self):
+        bad = np.array([[1.0, 0.9, -0.9], [0.9, 1.0, 0.9], [-0.9, 0.9, 1.0]])
+        u = sample_pseudo_copula(bad, 100, rng=3)
+        assert u.shape == (100, 3)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            sample_pseudo_copula(np.eye(2), 0)
+
+
+class TestSampleSynthetic:
+    def _margins_and_schema(self):
+        margins = [
+            HistogramCDF(np.array([10.0, 20.0, 30.0, 40.0])),
+            HistogramCDF(np.ones(6)),
+        ]
+        schema = Schema.from_domain_sizes([4, 6])
+        return margins, schema
+
+    def test_output_schema_and_size(self):
+        margins, schema = self._margins_and_schema()
+        data = sample_synthetic(np.eye(2), margins, 300, schema, rng=0)
+        assert data.n_records == 300
+        assert data.schema == schema
+
+    def test_margins_respected(self):
+        margins, schema = self._margins_and_schema()
+        data = sample_synthetic(np.eye(2), margins, 50_000, schema, rng=1)
+        counts = data.marginal_counts(0)
+        assert counts / counts.sum() == pytest.approx(
+            [0.1, 0.2, 0.3, 0.4], abs=0.01
+        )
+
+    def test_dependence_propagates_to_output(self):
+        rho = 0.85
+        margins = [HistogramCDF(np.ones(100)), HistogramCDF(np.ones(100))]
+        schema = Schema.from_domain_sizes([100, 100])
+        correlation = np.array([[1.0, rho], [rho, 1.0]])
+        data = sample_synthetic(correlation, margins, 6000, schema, rng=2)
+        tau = kendall_tau(data.column(0), data.column(1))
+        assert correlation_from_tau(tau) == pytest.approx(rho, abs=0.06)
+
+    def test_rejects_margin_count_mismatch(self):
+        margins, schema = self._margins_and_schema()
+        with pytest.raises(ValueError):
+            sample_synthetic(np.eye(3), margins, 10, schema)
+
+    def test_rejects_domain_mismatch(self):
+        margins = [HistogramCDF(np.ones(5)), HistogramCDF(np.ones(6))]
+        schema = Schema.from_domain_sizes([4, 6])
+        with pytest.raises(ValueError):
+            sample_synthetic(np.eye(2), margins, 10, schema)
+
+    def test_rejects_schema_width_mismatch(self):
+        margins, _ = self._margins_and_schema()
+        with pytest.raises(ValueError):
+            sample_synthetic(
+                np.eye(2), margins, 10, Schema.from_domain_sizes([4, 6, 2])
+            )

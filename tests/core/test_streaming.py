@@ -1,0 +1,107 @@
+"""Tests for the evolving-data extension (paper future work #2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import EvolvingDPCopula, epoch_budgets
+from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+
+
+def _batch(n, seed):
+    spec = SyntheticSpec(
+        n_records=n,
+        domain_sizes=(60, 60),
+        correlation=np.array([[1.0, 0.6], [0.6, 1.0]]),
+    )
+    return gaussian_dependence_data(spec, rng=seed)
+
+
+class TestEpochBudgets:
+    def test_uniform_profile(self):
+        budgets = epoch_budgets(1.0, 4)
+        assert budgets == [0.25] * 4
+
+    def test_geometric_profile_increases(self):
+        budgets = epoch_budgets(1.0, 4, profile="geometric", ratio=2.0)
+        assert budgets == sorted(budgets)
+        assert sum(budgets) == pytest.approx(1.0)
+
+    def test_total_always_epsilon(self):
+        for profile in ("uniform", "geometric"):
+            budgets = epoch_budgets(2.5, 7, profile=profile)
+            assert sum(budgets) == pytest.approx(2.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            epoch_budgets(0.0, 3)
+        with pytest.raises(ValueError):
+            epoch_budgets(1.0, 0)
+        with pytest.raises(ValueError):
+            epoch_budgets(1.0, 3, profile="linear")
+
+
+class TestEvolvingDPCopula:
+    def test_release_grows_with_data(self):
+        stream = EvolvingDPCopula(epsilon=2.0, max_epochs=3, rng=0)
+        first = stream.observe(_batch(400, seed=1))
+        second = stream.observe(_batch(600, seed=2))
+        assert first.n_records == 400
+        assert second.n_records == 1000  # cumulative
+
+    def test_lifetime_budget_enforced(self):
+        stream = EvolvingDPCopula(epsilon=1.0, max_epochs=2, rng=3)
+        stream.observe(_batch(300, seed=4))
+        stream.observe(_batch(300, seed=5))
+        assert stream.exhausted
+        with pytest.raises(RuntimeError):
+            stream.observe(_batch(300, seed=6))
+
+    def test_ledger_tracks_epochs(self):
+        stream = EvolvingDPCopula(epsilon=1.0, max_epochs=4, rng=7)
+        stream.observe(_batch(300, seed=8))
+        stream.observe(_batch(300, seed=9))
+        assert stream.ledger.spent == pytest.approx(0.5)
+        assert stream.remaining_epochs() == 2
+
+    def test_schema_mismatch_rejected(self):
+        stream = EvolvingDPCopula(epsilon=1.0, max_epochs=3, rng=10)
+        stream.observe(_batch(200, seed=11))
+        spec = SyntheticSpec(n_records=100, domain_sizes=(30, 30))
+        other = gaussian_dependence_data(spec, rng=12)
+        with pytest.raises(ValueError):
+            stream.observe(other)
+
+    def test_latest_release(self):
+        stream = EvolvingDPCopula(epsilon=1.0, max_epochs=2, rng=13)
+        assert stream.latest_release is None
+        release = stream.observe(_batch(200, seed=14))
+        assert stream.latest_release is release
+
+    def test_geometric_profile_spends_more_later(self):
+        stream = EvolvingDPCopula(
+            epsilon=1.0, max_epochs=3, profile="geometric", ratio=2.0, rng=15
+        )
+        stream.observe(_batch(200, seed=16))
+        stream.observe(_batch(200, seed=17))
+        spends = [amount for _, amount in stream.ledger.log]
+        assert spends[1] > spends[0]
+
+    def test_summary_mentions_epochs(self):
+        stream = EvolvingDPCopula(epsilon=1.0, max_epochs=2, rng=18)
+        stream.observe(_batch(200, seed=19))
+        text = stream.summary()
+        assert "epoch 1/2" in text
+        assert "spent" in text and "reserved" in text
+
+    def test_later_releases_track_accumulated_distribution(self):
+        """With growing data and equal per-epoch budgets, the final
+        release should approximate the accumulated margins well."""
+        from repro.queries.metrics import margin_tvd
+
+        stream = EvolvingDPCopula(epsilon=4.0, max_epochs=2, rng=20)
+        stream.observe(_batch(2000, seed=21))
+        release = stream.observe(_batch(6000, seed=22))
+        from repro.data.dataset import concatenate
+
+        accumulated = concatenate([_batch(2000, seed=21), _batch(6000, seed=22)])
+        assert margin_tvd(accumulated, release, 0) < 0.15

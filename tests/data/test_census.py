@@ -1,0 +1,100 @@
+"""Tests for the simulated census extracts (Table 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.data.census import (
+    BRAZIL_CENSUS_SCHEMA,
+    US_CENSUS_SCHEMA,
+    brazil_census,
+    us_census,
+)
+from repro.stats.kendall import kendall_tau
+
+
+class TestTable2Schemas:
+    """The published schemas and domain sizes are reproduced exactly."""
+
+    def test_us_domain_sizes(self):
+        expected = {"age": 96, "income": 1020, "occupation": 511, "gender": 2}
+        actual = {a.name: a.domain_size for a in US_CENSUS_SCHEMA}
+        assert actual == expected
+
+    def test_brazil_domain_sizes(self):
+        expected = {
+            "age": 95,
+            "gender": 2,
+            "disability": 2,
+            "nativity": 2,
+            "years_residing": 31,
+            "education": 140,
+            "working_hours": 95,
+            "annual_income": 586,
+        }
+        actual = {a.name: a.domain_size for a in BRAZIL_CENSUS_SCHEMA}
+        assert actual == expected
+
+    def test_us_dimension_count(self):
+        assert US_CENSUS_SCHEMA.dimensions == 4
+
+    def test_brazil_dimension_count(self):
+        assert BRAZIL_CENSUS_SCHEMA.dimensions == 8
+
+
+class TestUSCensus:
+    def test_default_cardinality_matches_paper(self):
+        data = us_census(n_records=1000)
+        assert data.n_records == 1000
+        # The paper's full extract is 100,000 records — the default.
+        assert us_census.__defaults__[0] == 100_000
+
+    def test_deterministic_default_seed(self):
+        a = us_census(n_records=500).values
+        b = us_census(n_records=500).values
+        assert (a == b).all()
+
+    def test_income_is_skewed(self):
+        data = us_census(n_records=20_000)
+        income = data.column(data.schema.index_of("income"))
+        assert np.median(income) < income.mean()
+
+    def test_age_income_positively_dependent(self):
+        data = us_census(n_records=5000)
+        tau = kendall_tau(
+            data.column(data.schema.index_of("age")),
+            data.column(data.schema.index_of("income")),
+        )
+        assert tau > 0.1
+
+    def test_gender_is_binary_and_balanced(self):
+        data = us_census(n_records=20_000)
+        gender = data.column(data.schema.index_of("gender"))
+        assert set(np.unique(gender)) <= {0, 1}
+        assert 0.4 < gender.mean() < 0.6
+
+
+class TestBrazilCensus:
+    def test_default_cardinality_matches_paper(self):
+        assert brazil_census.__defaults__[0] == 188_846
+
+    def test_small_sample_schema(self):
+        data = brazil_census(n_records=300)
+        assert data.schema == BRAZIL_CENSUS_SCHEMA
+        assert data.n_records == 300
+
+    def test_education_income_positively_dependent(self):
+        data = brazil_census(n_records=5000)
+        tau = kendall_tau(
+            data.column(data.schema.index_of("education")),
+            data.column(data.schema.index_of("annual_income")),
+        )
+        assert tau > 0.1
+
+    def test_disability_is_rare(self):
+        data = brazil_census(n_records=20_000)
+        disability = data.column(data.schema.index_of("disability"))
+        assert disability.mean() < 0.3
+
+    def test_custom_correlation_accepted(self):
+        data = brazil_census(n_records=200, correlation=np.eye(8))
+        assert data.n_records == 200

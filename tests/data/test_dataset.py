@@ -1,0 +1,155 @@
+"""Tests for the schema/dataset model."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import (
+    SMALL_DOMAIN_THRESHOLD,
+    Attribute,
+    Dataset,
+    Schema,
+    coarsen_dataset,
+    concatenate,
+)
+
+
+class TestAttribute:
+    def test_small_domain_flag(self):
+        assert Attribute("gender", 2).is_small_domain
+        assert not Attribute("age", SMALL_DOMAIN_THRESHOLD).is_small_domain
+
+    def test_contains(self):
+        attribute = Attribute("x", 5)
+        assert attribute.contains(np.array([0, 4]))
+        assert not attribute.contains(np.array([5]))
+        assert not attribute.contains(np.array([-1]))
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            Attribute("x", 0)
+
+
+class TestSchema:
+    def test_from_domain_sizes(self):
+        schema = Schema.from_domain_sizes([10, 20, 30])
+        assert schema.names == ["A0", "A1", "A2"]
+        assert schema.domain_sizes == [10, 20, 30]
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Schema([Attribute("x", 2), Attribute("x", 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_domain_space_handles_huge_products(self):
+        schema = Schema.from_domain_sizes([1000] * 8)
+        assert schema.domain_space() == pytest.approx(1e24)
+
+    def test_index_of(self):
+        schema = Schema([Attribute("a", 2), Attribute("b", 3)])
+        assert schema.index_of("b") == 1
+        with pytest.raises(KeyError):
+            schema.index_of("c")
+
+    def test_small_and_large_domain_indices(self):
+        schema = Schema(
+            [Attribute("g", 2), Attribute("age", 90), Attribute("f", 3)]
+        )
+        assert schema.small_domain_indices() == [0, 2]
+        assert schema.large_domain_indices() == [1]
+
+    def test_subset_preserves_order(self):
+        schema = Schema.from_domain_sizes([5, 10, 15])
+        sub = schema.subset([2, 0])
+        assert sub.domain_sizes == [15, 5]
+
+    def test_equality(self):
+        assert Schema.from_domain_sizes([2, 3]) == Schema.from_domain_sizes([2, 3])
+        assert Schema.from_domain_sizes([2, 3]) != Schema.from_domain_sizes([3, 2])
+
+
+class TestDataset:
+    def test_basic_properties(self, small_dataset):
+        assert small_dataset.n_records == 200
+        assert small_dataset.dimensions == 2
+        assert len(small_dataset) == 200
+
+    def test_values_read_only(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.values[0, 0] = 1
+
+    def test_rejects_out_of_domain(self, schema_2d):
+        with pytest.raises(ValueError):
+            Dataset(np.array([[50, 0]]), schema_2d)
+
+    def test_rejects_wrong_width(self, schema_2d):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((5, 3), dtype=int), schema_2d)
+
+    def test_rejects_non_integer_values(self, schema_2d):
+        with pytest.raises(ValueError):
+            Dataset(np.array([[0.5, 1.0]]), schema_2d)
+
+    def test_accepts_float_integers(self, schema_2d):
+        ds = Dataset(np.array([[1.0, 2.0]]), schema_2d)
+        assert ds.values.dtype == np.int64
+
+    def test_marginal_counts_sum_to_n(self, small_dataset):
+        counts = small_dataset.marginal_counts(0)
+        assert counts.sum() == small_dataset.n_records
+        assert counts.size == 50
+
+    def test_project(self, small_dataset):
+        projected = small_dataset.project([1])
+        assert projected.dimensions == 1
+        assert (projected.column(0) == small_dataset.column(1)).all()
+
+    def test_select(self, small_dataset):
+        mask = small_dataset.column(0) < 25
+        subset = small_dataset.select(mask)
+        assert subset.n_records == int(mask.sum())
+
+    def test_sample_caps_at_n(self, small_dataset, rng):
+        sample = small_dataset.sample(10_000, rng)
+        assert sample.n_records == small_dataset.n_records
+
+    def test_sample_without_replacement(self, small_dataset, rng):
+        sample = small_dataset.sample(50, rng)
+        assert sample.n_records == 50
+
+
+class TestCoarsenDataset:
+    def test_leaves_small_domains_alone(self, mixed_schema_dataset):
+        out = coarsen_dataset(mixed_schema_dataset, 256)
+        assert out.schema.domain_sizes == mixed_schema_dataset.schema.domain_sizes
+
+    def test_buckets_large_domains(self, mixed_schema_dataset):
+        out = coarsen_dataset(mixed_schema_dataset, 50)
+        assert all(size <= 50 for size in out.schema.domain_sizes)
+        assert out.n_records == mixed_schema_dataset.n_records
+
+    def test_bucketing_is_integer_division(self, schema_2d, rng):
+        values = np.column_stack([np.arange(50), np.zeros(50, dtype=int)])
+        ds = Dataset(values, schema_2d)
+        out = coarsen_dataset(ds, 25)
+        assert (out.column(0) == np.arange(50) // 2).all()
+
+    def test_renames_coarsened_attributes(self, mixed_schema_dataset):
+        out = coarsen_dataset(mixed_schema_dataset, 50)
+        assert "income/4" in out.schema.names
+
+
+class TestConcatenate:
+    def test_stacks(self, small_dataset):
+        combined = concatenate([small_dataset, small_dataset])
+        assert combined.n_records == 400
+
+    def test_rejects_schema_mismatch(self, small_dataset, synthetic_4d):
+        with pytest.raises(ValueError):
+            concatenate([small_dataset, synthetic_4d])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            concatenate([])

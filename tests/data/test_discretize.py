@@ -1,0 +1,137 @@
+"""Tests for the raw-data encoders."""
+
+import numpy as np
+import pytest
+
+from repro.data.discretize import (
+    CategoricalEncoder,
+    ContinuousBinner,
+    TableEncoder,
+)
+
+
+class TestCategoricalEncoder:
+    def test_total_order_is_deterministic(self):
+        a = CategoricalEncoder(["b", "a", "c"])
+        b = CategoricalEncoder(["c", "b", "a"])
+        assert a.categories == b.categories == ["a", "b", "c"]
+
+    def test_roundtrip(self):
+        encoder = CategoricalEncoder(["x", "y", "z"])
+        values = ["z", "x", "y", "x"]
+        assert encoder.decode(encoder.encode(values)) == values
+
+    def test_fit_deduplicates(self):
+        encoder = CategoricalEncoder.fit(["a", "a", "b", "a"])
+        assert encoder.domain_size == 2
+
+    def test_unknown_value_raises(self):
+        encoder = CategoricalEncoder(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.encode(["c"])
+
+    def test_decode_out_of_domain_raises(self):
+        encoder = CategoricalEncoder(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.decode(np.array([2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CategoricalEncoder([])
+
+
+class TestContinuousBinner:
+    def test_explicit_edges(self):
+        binner = ContinuousBinner([0.0, 1.0, 2.0, 3.0])
+        assert binner.domain_size == 3
+        assert (binner.encode([0.5, 1.5, 2.5]) == np.array([0, 1, 2])).all()
+
+    def test_out_of_range_clamped(self):
+        binner = ContinuousBinner([0.0, 1.0, 2.0])
+        assert binner.encode([-5.0])[0] == 0
+        assert binner.encode([99.0])[0] == 1
+
+    def test_decode_to_midpoints(self):
+        binner = ContinuousBinner([0.0, 2.0, 4.0])
+        assert (binner.decode(np.array([0, 1])) == np.array([1.0, 3.0])).all()
+
+    def test_quantile_fit_balances_mass(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(10.0, size=10_000)
+        binner = ContinuousBinner.fit(values, bins=10, strategy="quantile")
+        codes = binner.encode(values)
+        counts = np.bincount(codes, minlength=binner.domain_size)
+        assert counts.max() / counts.min() < 1.5
+
+    def test_uniform_fit_covers_range(self):
+        values = [0.0, 10.0]
+        binner = ContinuousBinner.fit(values, bins=5, strategy="uniform")
+        assert binner.edges[0] == 0.0
+        assert binner.edges[-1] == 10.0
+
+    def test_constant_data_still_valid(self):
+        binner = ContinuousBinner.fit([3.0, 3.0, 3.0], bins=4)
+        assert binner.domain_size >= 1
+        assert binner.encode([3.0])[0] == 0
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            ContinuousBinner([1.0])
+        with pytest.raises(ValueError):
+            ContinuousBinner([0.0, 0.0, 1.0])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            ContinuousBinner.fit([1.0, 2.0], strategy="magic")
+
+
+class TestTableEncoder:
+    @pytest.fixture
+    def encoder(self):
+        return TableEncoder(
+            names=["color", "height"],
+            encoders=[
+                CategoricalEncoder(["red", "green", "blue"]),
+                ContinuousBinner([0.0, 1.0, 2.0, 3.0]),
+            ],
+        )
+
+    def test_schema(self, encoder):
+        assert encoder.schema.names == ["color", "height"]
+        assert encoder.schema.domain_sizes == [3, 3]
+
+    def test_encode_decode_roundtrip_categories(self, encoder):
+        rows = [["red", 0.5], ["blue", 2.5], ["green", 1.5]]
+        dataset = encoder.encode(rows)
+        decoded = encoder.decode(dataset)
+        assert [row[0] for row in decoded] == ["red", "blue", "green"]
+        # Continuous values decode to bin midpoints.
+        assert [row[1] for row in decoded] == [0.5, 2.5, 1.5]
+
+    def test_end_to_end_with_dpcopula(self, encoder):
+        """Raw rows -> encode -> DPCopula -> decode: the full user flow."""
+        from repro.core.dpcopula import DPCopulaKendall
+
+        rng = np.random.default_rng(1)
+        colors = np.array(["red", "green", "blue"])[
+            rng.integers(0, 3, size=300)
+        ]
+        heights = rng.uniform(0, 3, size=300)
+        rows = [[c, h] for c, h in zip(colors, heights)]
+        dataset = encoder.encode(rows)
+        synthetic = DPCopulaKendall(epsilon=2.0, rng=2).fit_sample(dataset)
+        decoded = encoder.decode(synthetic)
+        assert len(decoded) == 300
+        assert set(row[0] for row in decoded) <= {"red", "green", "blue"}
+
+    def test_rejects_width_mismatch(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode([["red", 1.0, "extra"]])
+
+    def test_rejects_name_encoder_mismatch(self):
+        with pytest.raises(ValueError):
+            TableEncoder(names=["a"], encoders=[])
+
+    def test_decode_rejects_foreign_schema(self, encoder, small_dataset):
+        with pytest.raises(ValueError):
+            encoder.decode(small_dataset)

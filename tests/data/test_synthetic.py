@@ -1,0 +1,112 @@
+"""Tests for the Gaussian-dependence synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.stats.kendall import kendall_tau
+from repro.stats.correlation import correlation_from_tau
+from repro.stats.psd_repair import is_positive_definite
+
+
+class TestRandomCorrelationMatrix:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_is_valid_correlation(self, m):
+        matrix = random_correlation_matrix(m, rng=0)
+        assert matrix.shape == (m, m)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+        assert is_positive_definite(matrix)
+
+    def test_zero_strength_is_identity(self):
+        matrix = random_correlation_matrix(4, rng=0, strength=0.0)
+        assert np.allclose(matrix, np.eye(4))
+
+    def test_strength_scales_coupling(self):
+        weak = random_correlation_matrix(4, rng=0, strength=0.2)
+        strong = random_correlation_matrix(4, rng=0, strength=0.8)
+        off = np.triu_indices(4, 1)
+        assert np.abs(strong[off]).mean() > np.abs(weak[off]).mean()
+
+    def test_rejects_bad_strength(self):
+        with pytest.raises(ValueError):
+            random_correlation_matrix(3, strength=1.0)
+
+
+class TestGaussianDependenceData:
+    def test_shape_and_domains(self):
+        spec = SyntheticSpec(n_records=500, domain_sizes=(20, 30, 40))
+        data = gaussian_dependence_data(spec, rng=0)
+        assert data.n_records == 500
+        assert data.schema.domain_sizes == [20, 30, 40]
+        for j, size in enumerate([20, 30, 40]):
+            assert data.column(j).min() >= 0
+            assert data.column(j).max() < size
+
+    def test_deterministic_with_seed(self):
+        spec = SyntheticSpec(n_records=100, domain_sizes=(10, 10))
+        a = gaussian_dependence_data(spec, rng=5).values
+        b = gaussian_dependence_data(spec, rng=5).values
+        assert (a == b).all()
+
+    def test_dependence_matches_requested_correlation(self):
+        correlation = np.array([[1.0, 0.8], [0.8, 1.0]])
+        spec = SyntheticSpec(
+            n_records=8000, domain_sizes=(500, 500), correlation=correlation
+        )
+        data = gaussian_dependence_data(spec, rng=1)
+        tau = kendall_tau(data.column(0), data.column(1))
+        recovered = correlation_from_tau(tau)
+        assert recovered == pytest.approx(0.8, abs=0.05)
+
+    def test_independent_when_identity(self):
+        spec = SyntheticSpec(
+            n_records=8000, domain_sizes=(500, 500), correlation=np.eye(2)
+        )
+        data = gaussian_dependence_data(spec, rng=1)
+        tau = kendall_tau(data.column(0), data.column(1))
+        assert abs(tau) < 0.05
+
+    def test_zipf_margin_is_skewed(self):
+        spec = SyntheticSpec(
+            n_records=5000, domain_sizes=(100, 100), margins="zipf"
+        )
+        data = gaussian_dependence_data(spec, rng=2)
+        counts = data.marginal_counts(0)
+        assert counts[0] > counts[50] * 5
+
+    def test_uniform_margin_is_flat(self):
+        spec = SyntheticSpec(
+            n_records=50_000, domain_sizes=(10, 10), margins="uniform"
+        )
+        data = gaussian_dependence_data(spec, rng=3)
+        counts = data.marginal_counts(0)
+        assert counts.max() / counts.min() < 1.3
+
+    def test_per_attribute_margins(self):
+        spec = SyntheticSpec(
+            n_records=3000,
+            domain_sizes=(50, 50),
+            margins=("zipf", "uniform"),
+        )
+        data = gaussian_dependence_data(spec, rng=4)
+        zipf_counts = data.marginal_counts(0)
+        assert zipf_counts.argmax() == 0
+
+    def test_rejects_margin_count_mismatch(self):
+        spec = SyntheticSpec(
+            n_records=10, domain_sizes=(5, 5, 5), margins=("zipf", "uniform")
+        )
+        with pytest.raises(ValueError):
+            gaussian_dependence_data(spec, rng=0)
+
+    def test_rejects_correlation_shape_mismatch(self):
+        spec = SyntheticSpec(
+            n_records=10, domain_sizes=(5, 5, 5), correlation=np.eye(2)
+        )
+        with pytest.raises(ValueError):
+            gaussian_dependence_data(spec, rng=0)

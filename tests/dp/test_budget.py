@@ -1,0 +1,108 @@
+"""Tests for the privacy-budget ledger and the k-ratio split."""
+
+import pytest
+
+from repro.dp.budget import (
+    BudgetExhaustedError,
+    PrivacyBudget,
+    split_budget_by_ratio,
+)
+
+
+class TestPrivacyBudget:
+    def test_initial_state(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.remaining == 1.0
+        assert budget.spent == 0.0
+
+    def test_spend_reduces_remaining(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3, "step")
+        assert budget.remaining == pytest.approx(0.7)
+
+    def test_spend_returns_amount(self):
+        assert PrivacyBudget(1.0).spend(0.25) == 0.25
+
+    def test_overdraw_raises(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.9)
+        with pytest.raises(BudgetExhaustedError):
+            budget.spend(0.2)
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5)
+        budget.spend(0.5)
+        assert budget.remaining == 0.0
+
+    def test_many_small_slices_tolerate_float_rounding(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(7):
+            budget.spend(1.0 / 7.0)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_log_records_labels(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5, "margins")
+        budget.spend(0.5, "correlations")
+        assert [label for label, _ in budget.log] == ["margins", "correlations"]
+
+    def test_split_divides_remaining(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.4)
+        parts = budget.split(3)
+        assert len(parts) == 3
+        assert sum(parts) == pytest.approx(0.6)
+
+    def test_split_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split(0)
+
+    def test_subbudget_spends_parent(self):
+        parent = PrivacyBudget(1.0)
+        child = parent.subbudget(0.4, "partition")
+        assert parent.remaining == pytest.approx(0.6)
+        assert child.epsilon == pytest.approx(0.4)
+
+    def test_parallel_spend_charges_once(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend_parallel(0.5, "disjoint round")
+        assert budget.remaining == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+
+    def test_rejects_nonpositive_spend(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).spend(0.0)
+
+    def test_summary_mentions_labels(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5, "margins")
+        assert "margins" in budget.summary()
+
+
+class TestSplitBudgetByRatio:
+    def test_equal_split_at_k_one(self):
+        e1, e2 = split_budget_by_ratio(1.0, 1.0)
+        assert e1 == pytest.approx(0.5)
+        assert e2 == pytest.approx(0.5)
+
+    def test_paper_default_k_eight(self):
+        e1, e2 = split_budget_by_ratio(0.9, 8.0)
+        assert e1 == pytest.approx(0.8)
+        assert e2 == pytest.approx(0.1)
+        assert e1 / e2 == pytest.approx(8.0)
+
+    def test_parts_sum_to_epsilon(self):
+        for k in (0.1, 1.0, 3.7, 100.0):
+            e1, e2 = split_budget_by_ratio(2.5, k)
+            assert e1 + e2 == pytest.approx(2.5)
+            assert e1 > 0 and e2 > 0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            split_budget_by_ratio(0.0, 1.0)
+        with pytest.raises(ValueError):
+            split_budget_by_ratio(1.0, 0.0)

@@ -1,0 +1,156 @@
+"""Tests for the Laplace, geometric and exponential mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.mechanisms import (
+    clamp,
+    exponential_mechanism,
+    geometric_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+)
+
+
+class TestLaplaceNoise:
+    def test_scalar_when_size_none(self):
+        assert isinstance(laplace_noise(1.0, rng=0), float)
+
+    def test_shape(self):
+        out = laplace_noise(1.0, size=(3, 4), rng=0)
+        assert out.shape == (3, 4)
+
+    def test_empirical_scale(self):
+        draws = laplace_noise(2.0, size=200_000, rng=0)
+        # Laplace(b) has variance 2 b^2 = 8.
+        assert np.var(draws) == pytest.approx(8.0, rel=0.05)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.05)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            laplace_noise(0.0)
+
+
+class TestLaplaceMechanism:
+    def test_scalar_output(self):
+        out = laplace_mechanism(5.0, sensitivity=1.0, epsilon=1.0, rng=0)
+        assert isinstance(out, float)
+
+    def test_array_output_shape(self):
+        out = laplace_mechanism(np.zeros(7), sensitivity=1.0, epsilon=1.0, rng=0)
+        assert out.shape == (7,)
+
+    def test_huge_epsilon_is_nearly_exact(self):
+        out = laplace_mechanism(10.0, sensitivity=1.0, epsilon=1e9, rng=0)
+        assert out == pytest.approx(10.0, abs=1e-6)
+
+    def test_noise_scale_matches_sensitivity_over_epsilon(self):
+        out = laplace_mechanism(
+            np.zeros(200_000), sensitivity=4.0, epsilon=2.0, rng=0
+        )
+        # scale b = 4/2 = 2, variance 2 b^2 = 8.
+        assert np.var(out) == pytest.approx(8.0, rel=0.05)
+
+    @pytest.mark.parametrize("sensitivity,epsilon", [(0, 1), (1, 0), (-1, 1)])
+    def test_rejects_invalid_parameters(self, sensitivity, epsilon):
+        with pytest.raises(ValueError):
+            laplace_mechanism(0.0, sensitivity=sensitivity, epsilon=epsilon)
+
+
+class TestGeometricMechanism:
+    def test_integer_output(self):
+        out = geometric_mechanism(10, sensitivity=1.0, epsilon=1.0, rng=0)
+        assert isinstance(out, int)
+
+    def test_array_dtype(self):
+        out = geometric_mechanism(np.arange(5), sensitivity=1.0, epsilon=1.0, rng=0)
+        assert out.dtype == np.int64
+
+    def test_zero_mean(self):
+        out = geometric_mechanism(
+            np.zeros(100_000, dtype=int), sensitivity=1.0, epsilon=1.0, rng=0
+        )
+        assert abs(out.mean()) < 0.05
+
+    def test_high_epsilon_changes_little(self):
+        out = geometric_mechanism(
+            np.full(1000, 7), sensitivity=1.0, epsilon=50.0, rng=0
+        )
+        assert np.abs(out - 7).max() <= 1
+
+
+class TestExponentialMechanism:
+    def test_selects_from_candidates(self):
+        candidates = ["a", "b", "c"]
+        out = exponential_mechanism(
+            candidates, utility=lambda c: 0.0, sensitivity=1.0, epsilon=1.0, rng=0
+        )
+        assert out in candidates
+
+    def test_prefers_high_utility(self):
+        candidates = list(range(10))
+        gen = np.random.default_rng(0)
+        picks = [
+            exponential_mechanism(
+                candidates,
+                utility=lambda c: 100.0 if c == 3 else 0.0,
+                sensitivity=1.0,
+                epsilon=1.0,
+                rng=gen,
+            )
+            for _ in range(200)
+        ]
+        assert np.mean([p == 3 for p in picks]) > 0.95
+
+    def test_uniform_at_tiny_epsilon(self):
+        candidates = [0, 1]
+        gen = np.random.default_rng(0)
+        picks = [
+            exponential_mechanism(
+                candidates,
+                utility=lambda c: float(c),
+                sensitivity=1.0,
+                epsilon=1e-9,
+                rng=gen,
+            )
+            for _ in range(2000)
+        ]
+        assert 0.45 < np.mean(picks) < 0.55
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism([], utility=lambda c: 0.0, sensitivity=1, epsilon=1)
+
+    def test_rejects_nonfinite_utility(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(
+                [1], utility=lambda c: float("nan"), sensitivity=1, epsilon=1
+            )
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_always_returns_a_candidate(self, n_candidates, seed):
+        candidates = list(range(n_candidates))
+        out = exponential_mechanism(
+            candidates,
+            utility=lambda c: -float(c),
+            sensitivity=1.0,
+            epsilon=0.5,
+            rng=seed,
+        )
+        assert out in candidates
+
+
+class TestClamp:
+    def test_scalar(self):
+        assert clamp(5.0, 0.0, 1.0) == 1.0
+
+    def test_array(self):
+        out = clamp(np.array([-2.0, 0.5, 2.0]), -1.0, 1.0)
+        assert (out == np.array([-1.0, 0.5, 1.0])).all()
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            clamp(0.0, 1.0, -1.0)

@@ -1,0 +1,70 @@
+"""Tests for sensitivity constants, including an empirical check of
+Lemma 4.1 (the Kendall's-tau sensitivity bound)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.sensitivity import (
+    bounded_mean_sensitivity,
+    count_sensitivity,
+    histogram_sensitivity,
+    kendall_tau_sensitivity,
+)
+from repro.stats.kendall import kendall_tau_naive
+
+
+def test_count_sensitivity_is_one():
+    assert count_sensitivity() == 1.0
+
+
+def test_histogram_sensitivity_is_one():
+    assert histogram_sensitivity() == 1.0
+
+
+class TestKendallTauSensitivity:
+    def test_formula(self):
+        assert kendall_tau_sensitivity(999) == pytest.approx(4.0 / 1000.0)
+
+    def test_decreases_with_n(self):
+        values = [kendall_tau_sensitivity(n) for n in (10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            kendall_tau_sensitivity(0)
+
+    @given(
+        st.integers(min_value=5, max_value=30),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lemma_41_empirically(self, n, seed):
+        """Adding one tuple to n records moves tau-a by <= 4/(n+1).
+
+        This is the exact neighbourhood of Lemma 4.1: D has n records,
+        D' has n+1 (one tuple added), and the sensitivity bound is
+        stated in terms of the larger dataset's 4/(n+1).
+        """
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        tau_before = kendall_tau_naive(x, y)
+        # Adversarial-ish new tuple: extremes stress the bound hardest.
+        for new_x, new_y in [(1e9, -1e9), (-1e9, 1e9), (0.0, 0.0), (1e9, 1e9)]:
+            tau_after = kendall_tau_naive(
+                np.append(x, new_x), np.append(y, new_y)
+            )
+            assert abs(tau_after - tau_before) <= 4.0 / (n + 1) + 1e-12
+
+
+class TestBoundedMeanSensitivity:
+    def test_formula(self):
+        assert bounded_mean_sensitivity(2.0, 100) == pytest.approx(0.02)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            bounded_mean_sensitivity(0.0, 10)
+        with pytest.raises(ValueError):
+            bounded_mean_sensitivity(2.0, 0)

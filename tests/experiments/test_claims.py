@@ -1,0 +1,117 @@
+"""Tests for the codified paper claims."""
+
+import pytest
+
+from repro.experiments.claims import (
+    PAPER_CLAIMS,
+    Claim,
+    claims_report,
+    dominates,
+    endpoint_improvement,
+    evaluate_claims,
+    monotone,
+)
+from repro.experiments.figures import FigureResult
+
+
+def _figure(points):
+    figure = FigureResult("figX", "test")
+    for x, method, metric, value in points:
+        figure.add(x, method, metric, value)
+    return figure
+
+
+class TestDominates:
+    def test_clear_winner(self):
+        figure = _figure(
+            [(e, "a", "relative_error", 0.1) for e in (0.1, 0.5, 1.0)]
+            + [(e, "b", "relative_error", 0.5) for e in (0.1, 0.5, 1.0)]
+        )
+        assert dominates(figure, "a", "b")
+        assert not dominates(figure, "b", "a")
+
+    def test_fraction_threshold(self):
+        figure = _figure(
+            [(1, "a", "relative_error", 0.1), (2, "a", "relative_error", 0.9),
+             (1, "b", "relative_error", 0.5), (2, "b", "relative_error", 0.5)]
+        )
+        assert dominates(figure, "a", "b", fraction=0.5)
+        assert not dominates(figure, "a", "b", fraction=0.9)
+
+    def test_no_shared_x(self):
+        figure = _figure(
+            [(1, "a", "relative_error", 0.1), (2, "b", "relative_error", 0.5)]
+        )
+        assert not dominates(figure, "a", "b")
+
+
+class TestMonotone:
+    def test_increasing(self):
+        figure = _figure([(x, "a", "seconds", float(x)) for x in (1, 2, 3)])
+        assert monotone(figure, "a", "seconds", "increasing")
+        assert not monotone(figure, "a", "seconds", "decreasing")
+
+    def test_unknown_direction(self):
+        figure = _figure([(1, "a", "m", 1.0), (2, "a", "m", 2.0)])
+        with pytest.raises(ValueError):
+            monotone(figure, "a", "m", "sideways")
+
+    def test_single_point_fails(self):
+        figure = _figure([(1, "a", "m", 1.0)])
+        assert not monotone(figure, "a", "m", "increasing")
+
+
+def test_endpoint_improvement():
+    figure = _figure(
+        [(1, "a", "relative_error", 1.0), (10, "a", "relative_error", 0.2)]
+    )
+    assert endpoint_improvement(figure, "a", "relative_error")
+
+
+class TestEvaluateClaims:
+    def test_missing_figures_are_not_run(self):
+        outcomes = evaluate_claims({})
+        assert all(outcome.verdict == "NOT RUN" for outcome in outcomes)
+        assert len(outcomes) == len(PAPER_CLAIMS)
+
+    def test_passing_fig10(self):
+        figure = _figure(
+            [(m, "dpcopula-kendall", "absolute_error", 1.0) for m in (2, 4, 8)]
+            + [(m, "psd", "absolute_error", 3.0) for m in (2, 4, 8)]
+        )
+        outcomes = evaluate_claims({"fig10": figure})
+        fig10 = [o for o in outcomes if o.claim.claim_id == "fig10-wins"][0]
+        assert fig10.verdict == "PASS"
+
+    def test_failing_fig10(self):
+        figure = _figure(
+            [(m, "dpcopula-kendall", "absolute_error", 5.0) for m in (2, 4, 8)]
+            + [(m, "psd", "absolute_error", 3.0) for m in (2, 4, 8)]
+        )
+        outcomes = evaluate_claims({"fig10": figure})
+        fig10 = [o for o in outcomes if o.claim.claim_id == "fig10-wins"][0]
+        assert fig10.verdict == "FAIL"
+
+    def test_custom_claim(self):
+        claim = Claim("custom", "figX", "always true", lambda r: True)
+        outcomes = evaluate_claims(
+            {"figX": _figure([(1, "a", "m", 1.0)])}, claims=[claim]
+        )
+        assert outcomes[0].verdict == "PASS"
+
+
+def test_claims_report_renders_markdown():
+    outcomes = evaluate_claims({})
+    report = claims_report(outcomes)
+    assert report.startswith("| Claim | Figure | Verdict |")
+    assert "NOT RUN" in report
+
+
+def test_claim_ids_unique():
+    ids = [claim.claim_id for claim in PAPER_CLAIMS]
+    assert len(set(ids)) == len(ids)
+
+
+def test_every_figure_has_at_least_one_claim():
+    claimed = {claim.figure_id for claim in PAPER_CLAIMS}
+    assert {"fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11"} <= claimed

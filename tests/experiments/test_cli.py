@@ -1,0 +1,46 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.figures is None
+        assert args.scale == "small"
+
+    def test_figure_repeatable(self):
+        args = build_parser().parse_args(["--figure", "fig5", "--figure", "fig8"])
+        assert args.figures == ["fig5", "fig8"]
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--figure", "fig99"])
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["--n-records", "123", "--n-queries", "7", "--n-runs", "1"]
+        )
+        assert (args.n_records, args.n_queries, args.n_runs) == (123, 7, 1)
+
+
+class TestMain:
+    def test_runs_one_figure(self, capsys):
+        code = main(
+            [
+                "--figure",
+                "fig5",
+                "--n-records",
+                "300",
+                "--n-queries",
+                "5",
+                "--n-runs",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "relative_error" in out

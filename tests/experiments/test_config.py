@@ -1,0 +1,53 @@
+"""Tests for experiment configuration (Table 3 defaults)."""
+
+from repro.experiments.config import ExperimentScale, PaperDefaults
+
+
+class TestPaperDefaults:
+    def test_table_3_values(self):
+        defaults = PaperDefaults()
+        assert defaults.n_records == 50_000
+        assert defaults.epsilon == 1.0
+        assert defaults.dimensions == 8
+        assert defaults.sanity_bound == 1.0
+        assert defaults.ratio_k == 8.0
+        assert defaults.domain_size == 1000
+
+    def test_evaluation_protocol(self):
+        defaults = PaperDefaults()
+        assert defaults.queries_per_run == 1000
+        assert defaults.runs == 5
+
+    def test_real_dataset_sanity_bounds(self):
+        defaults = PaperDefaults()
+        assert defaults.us_sanity_fraction == 0.0005
+        assert defaults.brazil_sanity_bound == 10.0
+
+
+class TestExperimentScale:
+    def test_paper_scale_matches_defaults(self):
+        scale = ExperimentScale.paper()
+        defaults = PaperDefaults()
+        assert scale.n_records == defaults.n_records
+        assert scale.n_queries == defaults.queries_per_run
+        assert scale.n_runs == defaults.runs
+        assert scale.domain_size == defaults.domain_size
+
+    def test_small_is_small(self):
+        small = ExperimentScale.small()
+        paper = ExperimentScale.paper()
+        assert small.n_records < paper.n_records
+        assert small.n_queries < paper.n_queries
+
+    def test_with_overrides(self):
+        scale = ExperimentScale.small().with_(n_records=99)
+        assert scale.n_records == 99
+        assert scale.n_queries == ExperimentScale.small().n_queries
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExperimentScale.small().n_records = 5

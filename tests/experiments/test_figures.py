@@ -1,0 +1,75 @@
+"""Tests for the figure harness (tiny scales so the suite stays fast)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    FigureResult,
+    available_figures,
+    fig05_ratio_k,
+    fig08_range_size,
+    fig10_dimensionality,
+    run_figure,
+)
+
+TINY = ExperimentScale(
+    n_records=400,
+    n_queries=10,
+    n_runs=1,
+    domain_size=32,
+    dimensions=(2, 3),
+    epsilons=(1.0,),
+)
+
+
+class TestFigureResult:
+    def test_add_and_series(self):
+        result = FigureResult("figX", "test")
+        result.add(1, "m1", "relative_error", 0.5)
+        result.add(2, "m1", "relative_error", 0.4)
+        result.add(1, "m2", "relative_error", 0.6)
+        assert result.methods() == ["m1", "m2"]
+        assert result.series("m1", "relative_error") == [(1, 0.5), (2, 0.4)]
+
+    def test_to_table_renders(self):
+        result = FigureResult("figX", "test", {"n": 10})
+        result.add(1, "m1", "relative_error", 0.5)
+        table = result.to_table()
+        assert "figX" in table and "m1" in table and "0.5" in table
+
+    def test_missing_cells_rendered_as_dash(self):
+        result = FigureResult("figX", "test")
+        result.add(1, "m1", "relative_error", 0.5)
+        result.add(2, "m2", "relative_error", 0.4)
+        assert "-" in result.to_table()
+
+
+class TestFigureFunctions:
+    def test_fig5_structure(self):
+        result = fig05_ratio_k(scale=TINY, ks=(1.0, 8.0), epsilons=(1.0,))
+        assert result.figure_id == "fig5"
+        assert len(result.points) == 2
+        assert result.metrics() == ["relative_error"]
+
+    def test_fig8_two_metrics(self):
+        result = fig08_range_size(
+            scale=TINY, selectivities=(0.01,), methods=("psd",)
+        )
+        assert set(result.metrics()) == {"relative_error", "absolute_error"}
+
+    def test_fig10_dimension_sweep(self):
+        result = fig10_dimensionality(scale=TINY, methods=("psd",))
+        xs = [x for x, _ in result.series("psd", "relative_error")]
+        assert xs == [2, 3]
+
+    def test_run_figure_dispatch(self):
+        result = run_figure("fig5", scale=TINY, ks=(1.0,), epsilons=(1.0,))
+        assert isinstance(result, FigureResult)
+
+    def test_run_figure_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+    def test_available_figures_complete(self):
+        expected = {"fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11"}
+        assert set(available_figures()) == expected

@@ -1,0 +1,86 @@
+"""Direct unit tests for the remaining figure functions at tiny scale."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    fig06_kendall_vs_mle,
+    fig07_census,
+    fig09_distribution,
+    fig11_scalability,
+)
+
+TINY = ExperimentScale(
+    n_records=400,
+    n_queries=8,
+    n_runs=1,
+    domain_size=32,
+    dimensions=(2, 3),
+    epsilons=(1.0,),
+)
+
+
+class TestFig06:
+    def test_both_variants_and_metrics(self):
+        result = fig06_kendall_vs_mle(scale=TINY)
+        assert set(result.methods()) == {"dpcopula-kendall", "dpcopula-mle"}
+        assert set(result.metrics()) == {"relative_error", "seconds"}
+
+    def test_one_point_per_dimension(self):
+        result = fig06_kendall_vs_mle(scale=TINY)
+        xs = [x for x, _ in result.series("dpcopula-kendall", "relative_error")]
+        assert xs == [2, 3]
+
+
+class TestFig07:
+    def test_brazil_point_methods_only(self):
+        result = fig07_census(
+            "brazil",
+            scale=TINY,
+            methods=("psd", "fp"),
+        )
+        assert result.figure_id == "fig7b"
+        assert set(result.methods()) == {"psd", "fp"}
+
+    def test_us_with_dense_baseline_on_coarse_grid(self):
+        result = fig07_census(
+            "us",
+            scale=TINY,
+            methods=("psd", "php"),
+            dense_max_domain=16,
+        )
+        assert result.figure_id == "fig7a"
+        assert "php" in result.methods()
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            fig07_census("mars", scale=TINY)
+
+    def test_sanity_bound_recorded(self):
+        result = fig07_census("brazil", scale=TINY, methods=("psd",))
+        assert result.parameters["sanity_bound"] == 10.0
+
+
+class TestFig09:
+    def test_anchored_queries_give_nonzero_errors(self):
+        result = fig09_distribution(
+            scale=TINY, margins=("zipf",), methods=("psd",), dimensions=3
+        )
+        values = [point.value for point in result.points]
+        assert any(value > 0 for value in values)
+
+    def test_method_margin_labels(self):
+        result = fig09_distribution(
+            scale=TINY, margins=("gaussian", "zipf"), methods=("psd",), dimensions=2
+        )
+        assert set(result.methods()) == {"psd:gaussian", "psd:zipf"}
+
+
+class TestFig11:
+    def test_both_timing_metrics(self):
+        result = fig11_scalability(
+            scale=TINY, cardinalities=(200, 400), dense_max_domain=16
+        )
+        assert set(result.metrics()) == {"seconds_vs_n", "seconds_vs_m"}
+        ns = [x for x, _ in result.series("psd", "seconds_vs_n")]
+        assert ns == [200, 400]

@@ -1,0 +1,66 @@
+"""Tests for terminal rendering of figure results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plotting import render_figure, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        chart = sparkline([1, 2, 3, 4])
+        assert chart[0] == "▁" and chart[-1] == "█"
+        assert list(chart) == sorted(chart, key="  ▁▂▃▄▅▆▇█".index)
+
+    def test_constant_series_is_flat(self):
+        chart = sparkline([5, 5, 5])
+        assert len(set(chart)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_rendered_as_question_mark(self):
+        chart = sparkline([1.0, float("nan"), 3.0])
+        assert chart[1] == "?"
+
+    def test_log_scale_compresses_decades(self):
+        linear = sparkline([1, 10, 100, 1000])
+        logarithmic = sparkline([1, 10, 100, 1000], log_scale=True)
+        # On a log scale the steps are equal; linearly the first two
+        # collapse to the bottom block.
+        assert linear[0] == linear[1]
+        assert logarithmic[0] != logarithmic[1]
+
+    def test_length_matches_input(self):
+        values = np.random.default_rng(0).uniform(0, 1, size=37)
+        assert len(sparkline(values)) == 37
+
+
+class TestRenderFigure:
+    @pytest.fixture
+    def result(self):
+        figure = FigureResult("fig9", "error vs distribution")
+        for x, value in [(0.1, 2.0), (0.5, 0.5), (1.0, 0.1)]:
+            figure.add(x, "dpcopula", "relative_error", value)
+            figure.add(x, "psd", "relative_error", value * 3)
+        return figure
+
+    def test_contains_title_and_methods(self, result):
+        text = render_figure(result)
+        assert "fig9" in text
+        assert "dpcopula" in text and "psd" in text
+
+    def test_contains_value_range(self, result):
+        text = render_figure(result)
+        assert "0.1" in text and "2" in text
+
+    def test_log_scale_annotation_for_wide_ranges(self):
+        figure = FigureResult("figX", "wide")
+        for x, value in [(1, 0.001), (2, 100.0)]:
+            figure.add(x, "m", "relative_error", value)
+        assert "(log scale)" in render_figure(figure)
+
+    def test_empty_figure(self):
+        text = render_figure(FigureResult("figX", "empty"))
+        assert "figX" in text

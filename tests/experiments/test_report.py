@@ -1,0 +1,71 @@
+"""Tests for Markdown/CSV report generation."""
+
+import csv
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import (
+    figure_to_csv,
+    figure_to_markdown,
+    figures_to_markdown,
+    write_report,
+)
+
+
+@pytest.fixture
+def result():
+    figure = FigureResult("fig5", "error vs k", {"n": 100})
+    figure.add(1.0, "dpcopula", "relative_error", 0.5)
+    figure.add(8.0, "dpcopula", "relative_error", 0.3)
+    figure.add(1.0, "psd", "relative_error", 0.9)
+    figure.add(1.0, "dpcopula", "seconds", 0.02)
+    return figure
+
+
+class TestMarkdown:
+    def test_section_header(self, result):
+        markdown = figure_to_markdown(result)
+        assert markdown.startswith("### fig5 — error vs k")
+
+    def test_parameters_rendered(self, result):
+        assert "n=100" in figure_to_markdown(result)
+
+    def test_one_table_per_metric(self, result):
+        markdown = figure_to_markdown(result)
+        assert "**relative_error**" in markdown
+        assert "**seconds**" in markdown
+
+    def test_missing_cells_rendered_as_dash(self, result):
+        markdown = figure_to_markdown(result)
+        assert "—" in markdown  # psd has no value at x = 8.0
+
+    def test_combined_report(self, result):
+        markdown = figures_to_markdown([result, result], title="Run 1")
+        assert markdown.startswith("## Run 1")
+        assert markdown.count("### fig5") == 2
+
+
+class TestCSV:
+    def test_long_format(self, result):
+        rows = list(csv.reader(figure_to_csv(result).splitlines()))
+        assert rows[0] == ["figure_id", "metric", "method", "x", "value"]
+        assert len(rows) == 1 + len(result.points)
+
+    def test_values_roundtrip(self, result):
+        rows = list(csv.reader(figure_to_csv(result).splitlines()))
+        assert rows[1] == ["fig5", "relative_error", "dpcopula", "1.0", "0.5"]
+
+
+class TestWriteReport:
+    def test_writes_markdown_and_csvs(self, result, tmp_path):
+        markdown_path = tmp_path / "report.md"
+        csv_dir = tmp_path / "csv"
+        write_report([result], markdown_path, csv_dir=csv_dir)
+        assert markdown_path.exists()
+        assert (csv_dir / "fig5.csv").exists()
+
+    def test_markdown_only(self, result, tmp_path):
+        markdown_path = tmp_path / "report.md"
+        write_report([result], markdown_path)
+        assert "fig5" in markdown_path.read_text()

@@ -1,0 +1,163 @@
+"""Tests for the experiment method registry and evaluation loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, Schema
+from repro.experiments.runner import (
+    DPCopulaMethod,
+    IdentityMethod,
+    Method,
+    PSDMethod,
+    average_evaluation,
+    dense_counts,
+    make_method,
+)
+from repro.queries.range_query import random_workload
+
+
+class TestDenseCounts:
+    def test_counts_match_data(self, small_dataset):
+        counts = dense_counts(small_dataset)
+        assert counts.shape == (50, 40)
+        assert counts.sum() == small_dataset.n_records
+
+    def test_cell_level_agreement(self, small_dataset):
+        counts = dense_counts(small_dataset)
+        x0, y0 = small_dataset.values[0]
+        expected = int(
+            (
+                (small_dataset.column(0) == x0) & (small_dataset.column(1) == y0)
+            ).sum()
+        )
+        assert counts[x0, y0] == expected
+
+    def test_rejects_oversized_domain(self):
+        schema = Schema.from_domain_sizes([10_000, 10_000])
+        data = Dataset(np.zeros((5, 2), dtype=int), schema)
+        with pytest.raises(MemoryError):
+            dense_counts(data, max_cells=10**6)
+
+
+class TestMakeMethod:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "dpcopula-kendall",
+            "dpcopula-mle",
+            "dpcopula-hybrid",
+            "psd",
+            "fp",
+            "privelet",
+            "php",
+            "identity",
+            "dpcube",
+            "ug",
+            "ag",
+        ],
+    )
+    def test_all_registry_names(self, name):
+        method = make_method(name)
+        assert isinstance(method, Method)
+        assert method.name == name
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_method("k-anonymity")
+
+    def test_kwargs_forwarded(self):
+        method = make_method("psd", height=3)
+        assert method.kwargs == {"height": 3}
+
+    def test_margin_publisher_by_name(self):
+        from repro.experiments.runner import margin_publisher_by_name
+        from repro.histograms.hierarchical import HierarchicalPublisher
+
+        publisher = margin_publisher_by_name("hierarchical")
+        assert isinstance(publisher, HierarchicalPublisher)
+        with pytest.raises(ValueError):
+            margin_publisher_by_name("dct")
+
+    def test_dpcopula_margin_publisher_string_resolved(self):
+        from repro.experiments.runner import DPCopulaMethod
+        from repro.histograms.identity import IdentityPublisher
+
+        method = DPCopulaMethod("kendall", margin_publisher="identity")
+        assert isinstance(method.margin_publisher, IdentityPublisher)
+
+    def test_grid_methods_are_2d_only(self, small_dataset, synthetic_4d):
+        for name in ("ug", "ag"):
+            method = make_method(name)
+            assert method.supports(small_dataset)
+            assert not method.supports(synthetic_4d)
+
+
+class TestMethodFit:
+    def test_dpcopula_returns_dataset(self, small_dataset):
+        source = DPCopulaMethod("kendall").fit(small_dataset, 1.0, rng=0)
+        assert isinstance(source, Dataset)
+
+    def test_psd_returns_answerer(self, small_dataset):
+        source = PSDMethod(height=4).fit(small_dataset, 1.0, rng=1)
+        assert hasattr(source, "range_count")
+
+    def test_identity_clips_negative(self, small_dataset):
+        source = IdentityMethod().fit(small_dataset, 0.5, rng=2)
+        assert (source.counts >= 0).all()
+
+    def test_dense_method_supports_check(self, small_dataset):
+        method = IdentityMethod(max_cells=100)
+        assert not method.supports(small_dataset)
+
+    def test_dpcopula_rejects_bad_variant(self):
+        with pytest.raises(ValueError):
+            DPCopulaMethod("fourier")
+
+
+class TestAverageEvaluation:
+    def test_runs_and_averages(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 10, rng=3)
+        timed = average_evaluation(
+            make_method("identity"),
+            small_dataset,
+            workload,
+            epsilon=1.0,
+            n_runs=3,
+            rng=4,
+        )
+        assert timed.evaluation.n_queries == 10
+        assert timed.evaluation.mean_relative_error >= 0
+        assert timed.fit_seconds > 0
+
+    def test_more_budget_less_error(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 40, rng=5)
+        low = average_evaluation(
+            make_method("identity"), small_dataset, workload, 0.01, n_runs=3, rng=6
+        )
+        high = average_evaluation(
+            make_method("identity"), small_dataset, workload, 10.0, n_runs=3, rng=6
+        )
+        assert high.evaluation.mean_relative_error < low.evaluation.mean_relative_error
+
+
+class TestDenseClippingPolicy:
+    def test_privelet_answers_unclipped(self, small_dataset):
+        """Privelet's range accuracy relies on signed noise cancellation;
+        the harness must not clip its reconstruction."""
+        from repro.experiments.runner import PriveletMethod
+
+        source = PriveletMethod().fit(small_dataset, 0.05, rng=0)
+        assert (source.counts < 0).any()
+
+    def test_identity_answers_clipped(self, small_dataset):
+        from repro.experiments.runner import IdentityMethod
+
+        source = IdentityMethod().fit(small_dataset, 0.05, rng=1)
+        assert (source.counts >= 0).all()
+
+    def test_default_margin_publisher_is_noisefirst(self):
+        from repro.experiments.runner import DPCopulaMethod
+        from repro.histograms.structurefirst import NoiseFirstPublisher
+
+        method = DPCopulaMethod("kendall")
+        assert isinstance(method.margin_publisher, NoiseFirstPublisher)

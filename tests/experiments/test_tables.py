@@ -1,0 +1,59 @@
+"""Tests for the regenerated paper tables."""
+
+from repro.experiments.tables import (
+    all_tables,
+    table2a_us_domain_sizes,
+    table2b_brazil_domain_sizes,
+    table3_experiment_parameters,
+)
+
+
+class TestTable2:
+    def test_us_values(self):
+        table = table2a_us_domain_sizes()
+        for name, size in [
+            ("age", "96"),
+            ("income", "1020"),
+            ("occupation", "511"),
+            ("gender", "2"),
+        ]:
+            assert name in table and size in table
+
+    def test_brazil_values(self):
+        table = table2b_brazil_domain_sizes()
+        for name, size in [
+            ("age", "95"),
+            ("education", "140"),
+            ("working_hours", "95"),
+            ("annual_income", "586"),
+            ("years_residing", "31"),
+        ]:
+            assert name in table and size in table
+
+
+class TestTable3:
+    def test_defaults(self):
+        table = table3_experiment_parameters()
+        assert "50000" in table
+        assert "1.0" in table
+        assert "1000" in table
+
+    def test_every_parameter_listed(self):
+        table = table3_experiment_parameters()
+        for parameter in ("n", "epsilon", "m", "s", "k", "A_i"):
+            assert parameter in table
+
+
+def test_all_tables_concatenates():
+    combined = all_tables()
+    assert "Table 2(a)" in combined
+    assert "Table 2(b)" in combined
+    assert "Table 3" in combined
+
+
+def test_cli_tables_flag(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["--tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out

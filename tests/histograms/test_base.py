@@ -1,0 +1,63 @@
+"""Tests for the shared histogram interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.base import DenseNoisyHistogram, validate_ranges
+
+
+class TestValidateRanges:
+    def test_clips_to_domain(self):
+        out = validate_ranges([(-5, 100)], [10])
+        assert out == ((0, 9),)
+
+    def test_marks_disjoint_as_empty(self):
+        out = validate_ranges([(20, 30)], [10])
+        low, high = out[0]
+        assert high < low
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            validate_ranges([(0, 1)], [10, 10])
+
+
+class TestDenseNoisyHistogram:
+    def test_range_count_sums_rectangle(self):
+        counts = np.arange(12, dtype=float).reshape(3, 4)
+        histogram = DenseNoisyHistogram(counts)
+        assert histogram.range_count([(0, 1), (1, 2)]) == pytest.approx(
+            counts[0:2, 1:3].sum()
+        )
+
+    def test_full_domain_equals_total(self):
+        counts = np.random.default_rng(0).uniform(0, 5, size=(5, 6))
+        histogram = DenseNoisyHistogram(counts)
+        assert histogram.range_count([(0, 4), (0, 5)]) == pytest.approx(
+            histogram.total
+        )
+
+    def test_empty_range_is_zero(self):
+        histogram = DenseNoisyHistogram(np.ones((4, 4)))
+        assert histogram.range_count([(2, 1), (0, 3)]) == 0.0
+
+    def test_out_of_domain_clipped(self):
+        histogram = DenseNoisyHistogram(np.ones(5))
+        assert histogram.range_count([(-10, 10)]) == pytest.approx(5.0)
+
+    def test_single_cell(self):
+        counts = np.arange(9, dtype=float).reshape(3, 3)
+        histogram = DenseNoisyHistogram(counts)
+        assert histogram.range_count([(1, 1), (2, 2)]) == pytest.approx(5.0)
+
+    def test_nonnegative_clips(self):
+        histogram = DenseNoisyHistogram(np.array([-2.0, 3.0]))
+        clipped = histogram.nonnegative()
+        assert clipped.counts[0] == 0.0
+        assert histogram.counts[0] == -2.0  # original untouched
+
+    def test_dimensions(self):
+        assert DenseNoisyHistogram(np.ones((2, 3, 4))).dimensions == 3
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            DenseNoisyHistogram(np.float64(3.0))

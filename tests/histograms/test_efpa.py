@@ -1,0 +1,78 @@
+"""Tests for the EFPA (lossy spectral compression) publisher."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.efpa import EFPAPublisher
+
+
+def _smooth_histogram(n=256, scale=1000.0):
+    x = np.linspace(0, 4 * np.pi, n)
+    return scale * (2.0 + np.sin(x) + 0.5 * np.cos(3 * x))
+
+
+class TestEFPAPublisher:
+    def test_preserves_length(self):
+        out = EFPAPublisher().publish(_smooth_histogram(), 1.0, rng=0)
+        assert out.size == 256
+
+    def test_total_approximately_preserved(self):
+        counts = _smooth_histogram()
+        out = EFPAPublisher().publish(counts, 1.0, rng=0)
+        assert out.sum() == pytest.approx(counts.sum(), rel=0.05)
+
+    def test_smooth_histogram_beats_identity_at_low_epsilon(self):
+        """EFPA's raison d'etre: compress smooth shapes, spend noise on
+        few coefficients.  On a highly compressible histogram (almost all
+        spectral energy in <= 4 coefficients) at small epsilon its L2
+        error should beat Laplace-per-bin."""
+        from repro.histograms.identity import IdentityPublisher
+
+        n = 512
+        grid = np.arange(n)
+        # A pure low-order DCT-II mode: the spectrum is exactly two
+        # coefficients, so truncation error vanishes for k >= 4.
+        counts = 1000.0 + 300.0 * np.cos(np.pi * (grid + 0.5) * 3 / n)
+        epsilon = 0.05
+        rng = np.random.default_rng(1)
+        efpa_err, ident_err = [], []
+        for _ in range(10):
+            efpa_err.append(
+                np.linalg.norm(EFPAPublisher().publish(counts, epsilon, rng) - counts)
+            )
+            ident_err.append(
+                np.linalg.norm(
+                    IdentityPublisher().publish(counts, epsilon, rng) - counts
+                )
+            )
+        assert np.mean(efpa_err) < np.mean(ident_err)
+
+    def test_single_bin_histogram(self):
+        out = EFPAPublisher().publish(np.array([42.0]), 1.0, rng=0)
+        assert out.size == 1
+
+    def test_high_epsilon_reconstruction_accurate(self):
+        counts = _smooth_histogram(n=128)
+        out = EFPAPublisher().publish(counts, 1e6, rng=0)
+        # With negligible noise the only loss is truncation, which the
+        # k-selection should drive near zero.
+        assert np.abs(out - counts).max() < counts.max() * 0.05
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EFPAPublisher().publish(np.zeros((3, 3)), 1.0)
+
+    def test_rejects_bad_selection_fraction(self):
+        with pytest.raises(ValueError):
+            EFPAPublisher(selection_fraction=1.0)
+
+    def test_publish_dense_clips_by_default(self):
+        counts = np.zeros(64)
+        histogram = EFPAPublisher().publish_dense(counts, 0.1, rng=0)
+        assert (histogram.counts >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        counts = _smooth_histogram(128)
+        a = EFPAPublisher().publish(counts, 1.0, rng=7)
+        b = EFPAPublisher().publish(counts, 1.0, rng=7)
+        assert np.allclose(a, b)

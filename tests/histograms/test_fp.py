@@ -1,0 +1,114 @@
+"""Tests for the Filter Priority sparse-summary baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.histograms.fp import FilterPriorityPublisher, SparseNoisySummary
+
+
+def _clustered_dataset(n=2000, seed=0):
+    """Sparse data: a few heavy cells in a large 2-D domain."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([Attribute("a", 10_000), Attribute("b", 10_000)])
+    centers = np.array([[10, 10], [5000, 5000], [9000, 100]])
+    which = rng.integers(0, len(centers), size=n)
+    values = centers[which]
+    return Dataset(values, schema)
+
+
+class TestSparseNoisySummary:
+    def test_range_count_sums_members(self):
+        summary = SparseNoisySummary(
+            positions=[[1, 1], [5, 5], [9, 9]],
+            values=[10.0, 20.0, 30.0],
+            domain_sizes=[10, 10],
+        )
+        assert summary.range_count([(0, 5), (0, 5)]) == pytest.approx(30.0)
+        assert summary.range_count([(0, 9), (0, 9)]) == pytest.approx(60.0)
+
+    def test_empty_summary(self):
+        summary = SparseNoisySummary(
+            positions=np.empty((0, 2)), values=[], domain_sizes=[10, 10]
+        )
+        assert summary.range_count([(0, 9), (0, 9)]) == 0.0
+
+    def test_rescaled(self):
+        summary = SparseNoisySummary([[0, 0]], [50.0], [10, 10])
+        scaled = summary.rescaled(100.0)
+        assert scaled.total == pytest.approx(100.0)
+
+    def test_rescaled_zero_total_noop(self):
+        summary = SparseNoisySummary(
+            positions=np.empty((0, 2)), values=[], domain_sizes=[10, 10]
+        )
+        assert summary.rescaled(100.0).total == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SparseNoisySummary([[0, 0]], [1.0, 2.0], [10, 10])
+
+
+class TestFilterPriorityPublisher:
+    def test_summary_much_smaller_than_domain(self):
+        data = _clustered_dataset()
+        summary = FilterPriorityPublisher(target_zero_retentions=50).publish(
+            data, 1.0, rng=1
+        )
+        assert summary.size < 10_000  # domain has 1e8 cells
+
+    def test_heavy_cells_survive_filter(self):
+        data = _clustered_dataset(n=3000)
+        # A low zero-retention target keeps the simulated-zero mass from
+        # dominating the consistency rescale.
+        publisher = FilterPriorityPublisher(target_zero_retentions=10)
+        summary = publisher.publish(data, 1.0, rng=2)
+        # Each heavy cell holds ~1000 records; a range around one of them
+        # should answer with roughly that count.
+        answer = summary.range_count([(0, 100), (0, 100)])
+        truth = int(
+            ((data.column(0) <= 100) & (data.column(1) <= 100)).sum()
+        )
+        assert answer == pytest.approx(truth, rel=0.25)
+
+    def test_consistency_rescale_matches_cardinality(self):
+        data = _clustered_dataset(n=5000)
+        summary = FilterPriorityPublisher(consistency_fraction=0.2).publish(
+            data, 2.0, rng=3
+        )
+        assert summary.total == pytest.approx(5000, rel=0.2)
+
+    def test_priority_cap_enforced(self):
+        data = _clustered_dataset(n=2000)
+        publisher = FilterPriorityPublisher(
+            max_summary_size=2, target_zero_retentions=1.0
+        )
+        summary = publisher.publish(data, 1.0, rng=4)
+        assert summary.size <= 2
+
+    def test_zero_retention_count_scales_with_target(self):
+        data = _clustered_dataset(n=500)
+        small = FilterPriorityPublisher(target_zero_retentions=5).publish(
+            data, 1.0, rng=5
+        )
+        large = FilterPriorityPublisher(target_zero_retentions=500).publish(
+            data, 1.0, rng=5
+        )
+        assert large.size > small.size
+
+    def test_huge_domain_stays_feasible(self):
+        """8 attributes of domain 1000 => 1e24 cells; FP must not blow up."""
+        rng = np.random.default_rng(6)
+        schema = Schema.from_domain_sizes([1000] * 8)
+        values = rng.integers(0, 1000, size=(500, 8))
+        data = Dataset(values, schema)
+        summary = FilterPriorityPublisher(target_zero_retentions=100).publish(
+            data, 1.0, rng=7
+        )
+        assert summary.size < 50_000
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FilterPriorityPublisher(target_zero_retentions=0)
+        with pytest.raises(ValueError):
+            FilterPriorityPublisher(consistency_fraction=1.0)

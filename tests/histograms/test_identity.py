@@ -1,0 +1,40 @@
+"""Tests for Dwork's identity (Laplace-per-bin) publisher."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.identity import IdentityPublisher
+
+
+class TestIdentityPublisher:
+    def test_preserves_shape(self):
+        counts = np.zeros((4, 5))
+        out = IdentityPublisher().publish(counts, 1.0, rng=0)
+        assert out.shape == (4, 5)
+
+    def test_unbiased(self):
+        counts = np.full(50_000, 10.0)
+        out = IdentityPublisher().publish(counts, 1.0, rng=0)
+        assert out.mean() == pytest.approx(10.0, abs=0.05)
+
+    def test_noise_variance_matches_epsilon(self):
+        counts = np.zeros(100_000)
+        out = IdentityPublisher().publish(counts, 2.0, rng=0)
+        # Lap(1/2): variance 2 * (1/2)^2 = 0.5.
+        assert np.var(out) == pytest.approx(0.5, rel=0.05)
+
+    def test_high_epsilon_nearly_exact(self):
+        counts = np.arange(10.0)
+        out = IdentityPublisher().publish(counts, 1e9, rng=0)
+        assert np.abs(out - counts).max() < 1e-6
+
+    def test_publish_dense_clip(self):
+        counts = np.zeros(1000)
+        histogram = IdentityPublisher().publish_dense(
+            counts, 0.5, rng=0, clip_negative=True
+        )
+        assert (histogram.counts >= 0).all()
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            IdentityPublisher().publish(np.zeros(3), 0.0)

@@ -1,0 +1,74 @@
+"""Tests for the P-HP hierarchical-partitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.php import PHPPublisher, _l1_deviations_for_cuts
+
+
+class TestCutUtility:
+    def test_perfect_cut_scores_zero(self):
+        # Two flat plateaus: the boundary cut has zero L1 deviation.
+        segment = np.array([5.0, 5.0, 5.0, 20.0, 20.0, 20.0])
+        scores = _l1_deviations_for_cuts(segment, np.array([2]))
+        assert scores[0] == pytest.approx(0.0)
+
+    def test_misplaced_cut_scores_worse(self):
+        segment = np.array([5.0, 5.0, 5.0, 20.0, 20.0, 20.0])
+        scores = _l1_deviations_for_cuts(segment, np.array([0, 2, 4]))
+        assert scores[1] == min(scores)
+
+
+class TestPHPPublisher:
+    def test_preserves_shape(self):
+        counts = np.random.default_rng(0).uniform(0, 10, size=100)
+        out = PHPPublisher(max_depth=4).publish(counts, 1.0, rng=1)
+        assert out.shape == (100,)
+
+    def test_2d_input_reshaped(self):
+        counts = np.random.default_rng(1).uniform(0, 10, size=(20, 20))
+        out = PHPPublisher(max_depth=5).publish(counts, 1.0, rng=2)
+        assert out.shape == (20, 20)
+
+    def test_piecewise_constant_recovered_at_high_epsilon(self):
+        counts = np.concatenate([np.full(32, 100.0), np.full(32, 10.0)])
+        out = PHPPublisher(max_depth=3).publish(counts, 1e4, rng=3)
+        assert np.abs(out[:32] - 100.0).max() < 5.0
+        assert np.abs(out[32:] - 10.0).max() < 5.0
+
+    def test_partition_averages_are_piecewise_constant(self):
+        counts = np.random.default_rng(2).uniform(0, 100, size=64)
+        publisher = PHPPublisher(max_depth=3)
+        out = publisher.publish(counts, 10.0, rng=4)
+        # At most 2^3 = 8 distinct partition values.
+        assert np.unique(np.round(out, 6)).size <= 8
+
+    def test_single_bin(self):
+        out = PHPPublisher().publish(np.array([7.0]), 1.0, rng=5)
+        assert out.shape == (1,)
+
+    def test_total_roughly_preserved(self):
+        counts = np.random.default_rng(3).uniform(0, 50, size=256)
+        out = PHPPublisher(max_depth=5).publish(counts, 5.0, rng=6)
+        assert out.sum() == pytest.approx(counts.sum(), rel=0.15)
+
+    def test_candidate_cap_respected(self):
+        # A long segment with a small cap must still run (and fast).
+        counts = np.random.default_rng(4).uniform(0, 10, size=5000)
+        out = PHPPublisher(max_depth=4, max_candidates=16).publish(
+            counts, 1.0, rng=7
+        )
+        assert out.shape == (5000,)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PHPPublisher(max_depth=0)
+        with pytest.raises(ValueError):
+            PHPPublisher(structure_fraction=0.0)
+        with pytest.raises(ValueError):
+            PHPPublisher(max_candidates=0)
+
+    def test_publish_dense_clips(self):
+        counts = np.zeros(32)
+        histogram = PHPPublisher(max_depth=3).publish_dense(counts, 0.2, rng=8)
+        assert (histogram.counts >= 0).all()

@@ -1,0 +1,65 @@
+"""Tests for privacy-free post-processing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.postprocess import (
+    clip_nonnegative,
+    consistency_by_averaging,
+    isotonic_cdf,
+    rescale_to_total,
+    round_to_integers,
+)
+
+
+class TestClipNonnegative:
+    def test_clips(self):
+        out = clip_nonnegative(np.array([-1.0, 0.0, 2.5]))
+        assert (out == np.array([0.0, 0.0, 2.5])).all()
+
+
+class TestRoundToIntegers:
+    def test_rounds_and_clips(self):
+        out = round_to_integers(np.array([-0.7, 1.4, 2.6]))
+        assert out.dtype == np.int64
+        assert (out == np.array([0, 1, 3])).all()
+
+
+class TestRescaleToTotal:
+    def test_scales(self):
+        out = rescale_to_total(np.array([1.0, 3.0]), 8.0)
+        assert out.sum() == pytest.approx(8.0)
+        assert out[1] / out[0] == pytest.approx(3.0)
+
+    def test_zero_counts_fall_back_to_uniform(self):
+        out = rescale_to_total(np.array([-1.0, -2.0]), 10.0)
+        assert np.allclose(out, 5.0)
+
+    def test_negative_target_clamped(self):
+        out = rescale_to_total(np.array([1.0, 1.0]), -5.0)
+        assert out.sum() == pytest.approx(0.0)
+
+
+class TestIsotonicCDF:
+    def test_monotone_ending_at_one(self):
+        cdf = isotonic_cdf(np.array([3.0, -1.0, 2.0]))
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_all_zero_input(self):
+        cdf = isotonic_cdf(np.zeros(4))
+        assert np.allclose(cdf, [0.25, 0.5, 0.75, 1.0])
+
+
+class TestConsistencyByAveraging:
+    def test_children_sum_to_parent(self):
+        children = consistency_by_averaging(100.0, np.array([40.0, 50.0]))
+        assert children.sum() == pytest.approx(100.0)
+
+    def test_discrepancy_spread_equally(self):
+        children = consistency_by_averaging(12.0, np.array([5.0, 5.0]))
+        assert np.allclose(children, [6.0, 6.0])
+
+    def test_rejects_no_children(self):
+        with pytest.raises(ValueError):
+            consistency_by_averaging(1.0, np.array([]))

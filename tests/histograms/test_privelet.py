@@ -1,0 +1,122 @@
+"""Tests for the Privelet wavelet publisher, including transform properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histograms.privelet import (
+    PriveletPublisher,
+    haar_transform,
+    haar_weights,
+    inverse_haar_transform,
+)
+
+
+class TestHaarTransform:
+    def test_constant_vector_has_only_average(self):
+        out = haar_transform(np.full(8, 5.0))
+        assert out[0] == pytest.approx(5.0)
+        assert np.allclose(out[1:], 0.0)
+
+    def test_known_small_case(self):
+        out = haar_transform(np.array([4.0, 2.0, 6.0, 8.0]))
+        # average = 5; coarse detail = (3 - 7)/2 = -2; fine = (1, -1).
+        assert out[0] == pytest.approx(5.0)
+        assert out[1] == pytest.approx(-2.0)
+        assert out[2] == pytest.approx(1.0)
+        assert out[3] == pytest.approx(-1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ).filter(lambda xs: (len(xs) & (len(xs) - 1)) == 0)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.array(values)
+        assert np.allclose(inverse_haar_transform(haar_transform(arr)), arr)
+
+    def test_batched_matches_loop(self):
+        rng = np.random.default_rng(0)
+        batch = rng.standard_normal((5, 16))
+        batched = haar_transform(batch)
+        for i in range(5):
+            assert np.allclose(batched[i], haar_transform(batch[i]))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_transform(np.zeros(6))
+        with pytest.raises(ValueError):
+            inverse_haar_transform(np.zeros(6))
+
+    def test_single_record_coefficient_changes(self):
+        """Adding one unit to one leaf moves each affected coefficient by
+        exactly 1/weight — the generalized-sensitivity invariant."""
+        n = 16
+        weights = haar_weights(n)
+        for leaf in (0, 7, 15):
+            delta = np.zeros(n)
+            delta[leaf] = 1.0
+            coeffs = haar_transform(delta)
+            affected = np.nonzero(np.abs(coeffs) > 1e-12)[0]
+            # Exactly log2(n) details + the average coefficient.
+            assert affected.size == int(np.log2(n)) + 1
+            contributions = np.abs(coeffs[affected]) * weights[affected]
+            assert np.allclose(contributions, 1.0)
+
+
+class TestHaarWeights:
+    def test_average_weight_is_n(self):
+        assert haar_weights(8)[0] == 8.0
+
+    def test_total_sensitivity_is_h_plus_one(self):
+        n = 32
+        weights = haar_weights(n)
+        delta = np.zeros(n)
+        delta[11] = 1.0
+        coeffs = haar_transform(delta)
+        assert np.sum(np.abs(coeffs) * weights) == pytest.approx(np.log2(n) + 1)
+
+
+class TestPriveletPublisher:
+    def test_preserves_shape_with_padding(self):
+        counts = np.random.default_rng(0).uniform(0, 10, size=(5, 6))
+        out = PriveletPublisher().publish(counts, 1.0, rng=1)
+        assert out.shape == (5, 6)
+
+    def test_unbiased_total(self):
+        counts = np.full(64, 100.0)
+        totals = [
+            PriveletPublisher().publish(counts, 1.0, rng=seed).sum()
+            for seed in range(30)
+        ]
+        assert np.mean(totals) == pytest.approx(6400.0, rel=0.02)
+
+    def test_high_epsilon_nearly_exact(self):
+        counts = np.random.default_rng(2).uniform(0, 50, size=(8, 8))
+        out = PriveletPublisher().publish(counts, 1e9, rng=3)
+        assert np.abs(out - counts).max() < 1e-3
+
+    def test_range_query_noise_beats_identity_on_large_ranges(self):
+        """The wavelet's polylog range-noise property: on a wide range
+        query, Privelet's error should beat per-bin Laplace noise."""
+        from repro.histograms.identity import IdentityPublisher
+
+        counts = np.zeros(1024)
+        epsilon = 1.0
+        rng = np.random.default_rng(4)
+        privelet_errs, identity_errs = [], []
+        for _ in range(20):
+            p = PriveletPublisher().publish(counts, epsilon, rng)
+            i = IdentityPublisher().publish(counts, epsilon, rng)
+            privelet_errs.append(abs(p[100:900].sum()))
+            identity_errs.append(abs(i[100:900].sum()))
+        assert np.mean(privelet_errs) < np.mean(identity_errs)
+
+    def test_3d_input(self):
+        counts = np.ones((4, 4, 4))
+        out = PriveletPublisher().publish(counts, 5.0, rng=5)
+        assert out.shape == (4, 4, 4)

@@ -1,0 +1,167 @@
+"""Tests for the PSD (KD-hybrid spatial decomposition) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.histograms.psd import PSDNode, PSDPublisher, PSDTree, _overlap
+
+
+class TestOverlap:
+    def test_contained(self):
+        volume, contained, disjoint = _overlap(((0, 9), (0, 9)), [(0, 9), (0, 9)])
+        assert contained and not disjoint
+        assert volume == 100.0
+
+    def test_partial(self):
+        volume, contained, disjoint = _overlap(((0, 9),), [(5, 20)])
+        assert not contained and not disjoint
+        assert volume == 5.0
+
+    def test_disjoint(self):
+        _, _, disjoint = _overlap(((0, 9),), [(10, 20)])
+        assert disjoint
+
+
+class TestPSDPublisher:
+    def test_tree_has_expected_height(self, small_dataset):
+        tree = PSDPublisher(height=4).publish(small_dataset, 1.0, rng=0)
+        depth = 0
+        node = tree.root
+        while node.children:
+            node = node.children[0]
+            depth += 1
+        assert depth == 4
+
+    def test_total_count_close_to_n(self, small_dataset):
+        tree = PSDPublisher(height=5).publish(small_dataset, 5.0, rng=1)
+        full = [(0, a.domain_size - 1) for a in small_dataset.schema]
+        assert tree.range_count(full) == pytest.approx(
+            small_dataset.n_records, rel=0.25
+        )
+
+    def test_accuracy_at_high_epsilon(self, small_dataset):
+        tree = PSDPublisher(height=6).publish(small_dataset, 1e4, rng=2)
+        query = [(0, 24), (0, 39)]
+        truth = int(
+            ((small_dataset.column(0) <= 24)).sum()
+        )
+        assert tree.range_count(query) == pytest.approx(truth, rel=0.1)
+
+    def test_disjoint_query_zero(self, small_dataset):
+        tree = PSDPublisher(height=3).publish(small_dataset, 1.0, rng=3)
+        assert tree.range_count([(60, 70), (0, 39)]) == 0.0
+
+    def test_handles_empty_regions(self, schema_2d):
+        # All records in one corner: most nodes are empty.
+        values = np.zeros((100, 2), dtype=int)
+        dataset = Dataset(values, schema_2d)
+        tree = PSDPublisher(height=4).publish(dataset, 1.0, rng=4)
+        assert tree.node_count() > 1
+
+    def test_switch_level_zero_uses_midpoints_only(self, small_dataset):
+        tree = PSDPublisher(height=3, switch_level=0).publish(
+            small_dataset, 1.0, rng=5
+        )
+        # Midpoint splits: root's children split axis 0 at (0+49-1)//2=24.
+        left_box = tree.root.children[0].box
+        assert left_box[0] == (0, 24)
+
+    def test_domain_size_independence(self):
+        """PSD consumes points, so a huge domain is no obstacle."""
+        schema = Schema([Attribute("a", 10**6), Attribute("b", 10**6)])
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 10**6, size=(500, 2))
+        dataset = Dataset(values, schema)
+        tree = PSDPublisher(height=6).publish(dataset, 1.0, rng=7)
+        assert tree.range_count([(0, 10**6 - 1)] * 2) > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PSDPublisher(height=0)
+        with pytest.raises(ValueError):
+            PSDPublisher(height=4, switch_level=9)
+        with pytest.raises(ValueError):
+            PSDPublisher(median_fraction=1.0)
+
+    def test_private_median_splits_near_true_median(self, rng):
+        """With ample budget the exponential mechanism should pick a
+        split close to the true median."""
+        schema = Schema([Attribute("x", 1000), Attribute("y", 2)])
+        x = np.sort(rng.integers(0, 1000, size=2000))
+        values = np.column_stack([x, np.zeros(2000, dtype=int)])
+        dataset = Dataset(values, schema)
+        publisher = PSDPublisher(height=1, switch_level=1, median_fraction=0.9)
+        tree = publisher.publish(dataset, 100.0, rng=8)
+        split_high = tree.root.children[0].box[0][1]
+        true_median = int(np.median(x))
+        assert abs(split_high - true_median) < 60
+
+
+class TestPSDTreeAnswering:
+    def test_uniformity_assumption_in_partial_leaf(self):
+        leaf = PSDNode(box=((0, 9),), noisy_count=100.0)
+        tree = PSDTree(leaf, dimensions=1)
+        # Query covers 3 of 10 cells: uniform share is 30.
+        assert tree.range_count([(0, 2)]) == pytest.approx(30.0)
+
+    def test_negative_counts_clipped_in_answers(self):
+        leaf = PSDNode(box=((0, 9),), noisy_count=-50.0)
+        tree = PSDTree(leaf, dimensions=1)
+        assert tree.range_count([(0, 9)]) == 0.0
+
+    def test_internal_node_recursion(self):
+        left = PSDNode(box=((0, 4),), noisy_count=40.0)
+        right = PSDNode(box=((5, 9),), noisy_count=60.0)
+        root = PSDNode(box=((0, 9),), noisy_count=95.0, children=[left, right])
+        tree = PSDTree(root, dimensions=1)
+        # Fully covered root: uses the root's own count.
+        assert tree.range_count([(0, 9)]) == pytest.approx(95.0)
+        # Covers left fully, right partially (uniform 3/5 of 60 = 36).
+        assert tree.range_count([(0, 7)]) == pytest.approx(40.0 + 36.0)
+
+
+class TestTreeConsistency:
+    def test_children_sum_to_parents_after_postprocessing(self, small_dataset):
+        from repro.histograms.psd import enforce_tree_consistency
+
+        tree = PSDPublisher(height=4).publish(small_dataset, 1.0, rng=10)
+        enforce_tree_consistency(tree)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.children:
+                child_sum = sum(c.noisy_count for c in node.children)
+                assert child_sum == pytest.approx(node.noisy_count, abs=1e-8)
+                stack.extend(node.children)
+
+    def test_publisher_flag(self, small_dataset):
+        tree = PSDPublisher(height=4, consistency=True).publish(
+            small_dataset, 1.0, rng=11
+        )
+        root = tree.root
+        child_sum = sum(c.noisy_count for c in root.children)
+        assert child_sum == pytest.approx(root.noisy_count, abs=1e-8)
+
+    def test_consistency_reduces_root_count_variance(self, small_dataset):
+        """Blending the root with its subtree sums must tighten the
+        estimate of the total count."""
+        raw_errors, consistent_errors = [], []
+        n = small_dataset.n_records
+        for seed in range(30):
+            raw = PSDPublisher(height=5).publish(small_dataset, 0.5, rng=seed)
+            cons = PSDPublisher(height=5, consistency=True).publish(
+                small_dataset, 0.5, rng=seed
+            )
+            raw_errors.append(abs(raw.root.noisy_count - n))
+            consistent_errors.append(abs(cons.root.noisy_count - n))
+        assert np.mean(consistent_errors) < np.mean(raw_errors)
+
+    def test_full_domain_query_matches_root(self, small_dataset):
+        tree = PSDPublisher(height=3, consistency=True).publish(
+            small_dataset, 2.0, rng=12
+        )
+        full = [(0, 49), (0, 39)]
+        assert tree.range_count(full) == pytest.approx(
+            max(tree.root.noisy_count, 0.0), abs=1e-8
+        )

@@ -1,0 +1,88 @@
+"""Tests for the NoiseFirst / StructureFirst 1-D publishers."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.structurefirst import (
+    NoiseFirstPublisher,
+    StructureFirstPublisher,
+    _greedy_merge_path,
+    publish_dense,
+)
+
+
+class TestGreedyMergePath:
+    def test_path_covers_all_partition_sizes(self):
+        path = _greedy_merge_path(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert [len(p) for p in path] == [4, 3, 2, 1]
+
+    def test_merges_most_similar_neighbours_first(self):
+        noisy = np.array([10.0, 10.1, 50.0, 90.0])
+        path = _greedy_merge_path(noisy)
+        first_merge = path[1]
+        assert (0, 1) in first_merge
+
+    def test_spans_are_contiguous_and_complete(self):
+        noisy = np.random.default_rng(0).uniform(0, 10, size=12)
+        for partition in _greedy_merge_path(noisy):
+            covered = []
+            for start, end in partition:
+                covered.extend(range(start, end + 1))
+            assert covered == list(range(12))
+
+
+class TestNoiseFirstPublisher:
+    def test_preserves_length(self):
+        counts = np.random.default_rng(1).uniform(0, 20, size=50)
+        out = NoiseFirstPublisher().publish(counts, 1.0, rng=2)
+        assert out.shape == (50,)
+
+    def test_merging_helps_on_flat_histograms(self):
+        """On a constant histogram at low epsilon, merging the noisy bins
+        should beat the raw identity output."""
+        from repro.histograms.identity import IdentityPublisher
+
+        counts = np.full(128, 20.0)
+        epsilon = 0.05
+        rng = np.random.default_rng(3)
+        nf_err, id_err = [], []
+        for _ in range(15):
+            nf = NoiseFirstPublisher().publish(counts, epsilon, rng)
+            ident = IdentityPublisher().publish(counts, epsilon, rng)
+            nf_err.append(np.linalg.norm(nf - counts))
+            id_err.append(np.linalg.norm(ident - counts))
+        assert np.mean(nf_err) < np.mean(id_err)
+
+    def test_skips_merge_on_oversized_domains(self):
+        publisher = NoiseFirstPublisher(max_bins_for_merge=10)
+        counts = np.zeros(100)
+        out = publisher.publish(counts, 1.0, rng=4)
+        assert out.shape == (100,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            NoiseFirstPublisher().publish(np.zeros((3, 3)), 1.0)
+
+
+class TestStructureFirstPublisher:
+    def test_preserves_length(self):
+        counts = np.random.default_rng(5).uniform(0, 20, size=64)
+        out = StructureFirstPublisher().publish(counts, 1.0, rng=6)
+        assert out.shape == (64,)
+
+    def test_piecewise_structure(self):
+        counts = np.concatenate([np.full(32, 100.0), np.full(32, 5.0)])
+        out = StructureFirstPublisher(max_depth=3).publish(counts, 100.0, rng=7)
+        assert np.unique(np.round(out, 6)).size <= 8
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            StructureFirstPublisher().publish(np.zeros((4, 4)), 1.0)
+
+
+def test_publish_dense_helper():
+    counts = np.random.default_rng(8).uniform(0, 5, size=32)
+    histogram = publish_dense(NoiseFirstPublisher(), counts, 1.0, rng=9)
+    assert histogram.range_count([(0, 31)]) == pytest.approx(
+        histogram.counts.sum()
+    )

@@ -1,0 +1,112 @@
+"""Tests for exact V-optimal partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histograms.vopt import (
+    segment_sse,
+    voptimal_estimate,
+    voptimal_partition,
+    _prefix_sums,
+)
+
+
+def _brute_force_best_sse(values: np.ndarray, k: int) -> float:
+    """Exhaustive minimum SSE over all partitions into <= k buckets."""
+    import itertools
+
+    n = values.size
+    sums, squares = _prefix_sums(values)
+    best = np.inf
+    for buckets in range(1, min(k, n) + 1):
+        for cuts in itertools.combinations(range(1, n), buckets - 1):
+            edges = [0, *cuts, n]
+            sse = sum(
+                segment_sse(sums, squares, edges[i], edges[i + 1] - 1)
+                for i in range(buckets)
+            )
+            best = min(best, sse)
+    return best
+
+
+class TestVoptimalPartition:
+    def test_two_plateaus(self):
+        spans, sse = voptimal_partition(np.array([1.0, 1.0, 9.0, 9.0]), 2)
+        assert spans == [(0, 1), (2, 3)]
+        assert sse == pytest.approx(0.0)
+
+    def test_single_bucket(self):
+        values = np.array([1.0, 3.0, 5.0])
+        spans, sse = voptimal_partition(values, 1)
+        assert spans == [(0, 2)]
+        assert sse == pytest.approx(((values - 3.0) ** 2).sum())
+
+    def test_k_at_least_n_gives_zero_sse(self):
+        values = np.random.default_rng(0).uniform(0, 10, size=8)
+        spans, sse = voptimal_partition(values, 20)
+        assert sse == pytest.approx(0.0, abs=1e-9)
+        assert len(spans) == 8
+
+    def test_spans_are_contiguous_and_complete(self):
+        values = np.random.default_rng(1).uniform(0, 10, size=15)
+        spans, _ = voptimal_partition(values, 4)
+        covered = []
+        for start, end in spans:
+            covered.extend(range(start, end + 1))
+        assert covered == list(range(15))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, values, k):
+        values = np.asarray(values)
+        _, dp_sse = voptimal_partition(values, k)
+        brute = _brute_force_best_sse(values, k)
+        assert dp_sse == pytest.approx(brute, abs=1e-6)
+
+    def test_never_worse_than_greedy(self):
+        """The exact DP must be at least as good as NoiseFirst's greedy
+        merge at the same bucket count."""
+        from repro.histograms.structurefirst import _greedy_merge_path
+        from repro.histograms.vopt import _prefix_sums
+
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 20, size=40)
+        sums, squares = _prefix_sums(values)
+        path = _greedy_merge_path(values)
+        for partition in path:
+            k = len(partition)
+            greedy_sse = sum(
+                segment_sse(sums, squares, a, b) for a, b in partition
+            )
+            _, dp_sse = voptimal_partition(values, k)
+            assert dp_sse <= greedy_sse + 1e-9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            voptimal_partition(np.array([]), 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            voptimal_partition(np.ones(4), 0)
+
+
+class TestVoptimalEstimate:
+    def test_piecewise_constant(self):
+        values = np.concatenate([np.full(5, 2.0), np.full(5, 8.0)])
+        estimate = voptimal_estimate(values, 2)
+        assert np.allclose(estimate[:5], 2.0)
+        assert np.allclose(estimate[5:], 8.0)
+
+    def test_preserves_total(self):
+        values = np.random.default_rng(3).uniform(0, 10, size=20)
+        estimate = voptimal_estimate(values, 5)
+        assert estimate.sum() == pytest.approx(values.sum())

@@ -1,0 +1,152 @@
+"""Cross-module property tests: invariants spanning several subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dpcopula import DPCopulaKendall
+from repro.core.sampling import sample_synthetic
+from repro.data.dataset import Dataset, Schema
+from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+from repro.histograms.fp import FilterPriorityPublisher
+from repro.histograms.privelet import haar_transform
+from repro.histograms.psd import PSDPublisher
+from repro.queries.range_query import RangeQuery
+from repro.stats.ecdf import HistogramCDF
+
+
+class TestSamplingMarginFidelity:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=2,
+            max_size=12,
+        ).filter(lambda counts: sum(counts) > 1.0),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_margins_match_cdf_pmf(self, counts, seed):
+        """Inverse-CDF sampling through Algorithm 3 reproduces the margin
+        pmf within multinomial sampling error."""
+        margin = HistogramCDF(counts)
+        schema = Schema.from_domain_sizes([margin.domain_size, margin.domain_size])
+        n = 30_000
+        data = sample_synthetic(
+            np.eye(2), [margin, margin], n, schema, rng=seed
+        )
+        observed = np.bincount(data.column(0), minlength=margin.domain_size) / n
+        assert np.abs(observed - margin.pmf).max() < 0.02
+
+
+class TestDeterminism:
+    def test_dpcopula_end_to_end_deterministic(self, synthetic_4d):
+        a = DPCopulaKendall(epsilon=1.0, rng=99).fit_sample(synthetic_4d)
+        b = DPCopulaKendall(epsilon=1.0, rng=99).fit_sample(synthetic_4d)
+        assert (a.values == b.values).all()
+
+    def test_different_seeds_differ(self, synthetic_4d):
+        a = DPCopulaKendall(epsilon=1.0, rng=1).fit_sample(synthetic_4d)
+        b = DPCopulaKendall(epsilon=1.0, rng=2).fit_sample(synthetic_4d)
+        assert not (a.values == b.values).all()
+
+
+class TestAnswererAdditivity:
+    """Range answers must be additive over disjoint rectangles."""
+
+    def _check_additivity(self, answerer, sizes, atol=1e-6):
+        mid0 = sizes[0] // 2
+        whole = answerer.range_count([(0, sizes[0] - 1), (0, sizes[1] - 1)])
+        left = answerer.range_count([(0, mid0 - 1), (0, sizes[1] - 1)])
+        right = answerer.range_count([(mid0, sizes[0] - 1), (0, sizes[1] - 1)])
+        assert whole == pytest.approx(left + right, abs=max(atol, abs(whole) * 1e-9))
+
+    def test_fp_additive(self, small_dataset):
+        summary = FilterPriorityPublisher().publish(small_dataset, 1.0, rng=0)
+        self._check_additivity(summary, [50, 40])
+
+    def test_dense_histogram_additive(self, small_dataset):
+        from repro.experiments.runner import dense_counts
+        from repro.histograms.base import DenseNoisyHistogram
+
+        histogram = DenseNoisyHistogram(dense_counts(small_dataset))
+        self._check_additivity(histogram, [50, 40])
+
+    def test_psd_additive_on_aligned_splits(self, small_dataset):
+        """PSD answers are additive when the split is uniformity-exact,
+        i.e. the whole domain vs two halves along the root's own split."""
+        tree = PSDPublisher(height=4, switch_level=0).publish(
+            small_dataset, 5.0, rng=1
+        )
+        # Root splits axis 0 at midpoint 24 when switch_level = 0.
+        whole = tree.range_count([(0, 49), (0, 39)])
+        left = tree.range_count([(0, 24), (0, 39)])
+        right = tree.range_count([(25, 49), (0, 39)])
+        # Internal nodes answer fully-contained queries from their own
+        # noisy counts, so exact additivity is not guaranteed — but the
+        # parts must reconstruct the whole within the root-vs-children
+        # noise discrepancy.
+        assert whole == pytest.approx(left + right, abs=12.0)
+
+
+class TestEmpiricalCopulaModel:
+    def test_preserves_arbitrary_dependence(self):
+        """A V-shaped (non-monotone) dependence no Gaussian copula can
+        represent survives the empirical copula."""
+        from repro.core.copula import EmpiricalCopulaModel
+
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 100, size=4000)
+        y = np.abs(x - 50) * 2 + rng.integers(0, 5, size=4000)
+        data = Dataset(
+            np.column_stack([x, np.clip(y, 0, 104)]),
+            Schema.from_domain_sizes([100, 105]),
+        )
+        model = EmpiricalCopulaModel().fit(data)
+        synthetic = model.sample(4000, rng=1)
+        # The V shape: low y both at x~0 edges high... check correlation of
+        # |x-50| with y stays strongly positive.
+        corr = np.corrcoef(
+            np.abs(synthetic.column(0) - 50), synthetic.column(1)
+        )[0, 1]
+        assert corr > 0.8
+
+    def test_unfitted_raises(self):
+        from repro.core.copula import EmpiricalCopulaModel
+
+        with pytest.raises(RuntimeError):
+            EmpiricalCopulaModel().sample(5)
+
+    def test_jitter_validation(self):
+        from repro.core.copula import EmpiricalCopulaModel
+
+        with pytest.raises(ValueError):
+            EmpiricalCopulaModel(jitter=2.0)
+
+
+class TestHaarLinearity:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=-5.0, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transform_is_linear(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(16)
+        b = rng.standard_normal(16)
+        lhs = haar_transform(a + alpha * b)
+        rhs = haar_transform(a) + alpha * haar_transform(b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+class TestQueryCountConsistency:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_complement_counts_sum_to_n(self, seed):
+        spec = SyntheticSpec(n_records=500, domain_sizes=(30, 30))
+        data = gaussian_dependence_data(spec, rng=seed)
+        rng = np.random.default_rng(seed)
+        cut = int(rng.integers(0, 29))
+        left = RangeQuery(((0, cut), (0, 29))).count(data)
+        right = RangeQuery(((cut + 1, 29), (0, 29))).count(data) if cut < 29 else 0
+        assert left + right == data.n_records

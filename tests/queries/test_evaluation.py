@@ -1,0 +1,108 @@
+"""Tests for the error metrics and workload evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.base import DenseNoisyHistogram
+from repro.queries.evaluation import (
+    absolute_error,
+    dataset_answerer,
+    evaluate_workload,
+    relative_error,
+    true_answers,
+)
+from repro.queries.range_query import RangeQuery, random_workload
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_sanity_bound_kicks_in_for_small_answers(self):
+        # actual = 0 would divide by zero without the bound.
+        assert relative_error(5, 0, sanity_bound=1.0) == 5.0
+
+    def test_sanity_bound_only_lifts_denominator(self):
+        assert relative_error(110, 100, sanity_bound=50) == pytest.approx(0.1)
+        assert relative_error(20, 10, sanity_bound=50) == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            relative_error(1, 1, sanity_bound=0.0)
+
+
+def test_absolute_error():
+    assert absolute_error(7.5, 10.0) == 2.5
+
+
+class TestTrueAnswers:
+    def test_vector_of_counts(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 10, rng=0)
+        answers = true_answers(small_dataset, workload)
+        assert answers.shape == (10,)
+        assert (answers >= 0).all()
+        assert (answers <= small_dataset.n_records).all()
+
+
+class TestEvaluateWorkload:
+    def test_perfect_source_has_zero_error(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 20, rng=1)
+        evaluation = evaluate_workload(small_dataset, workload, small_dataset)
+        assert evaluation.mean_relative_error == 0.0
+        assert evaluation.mean_absolute_error == 0.0
+        assert evaluation.n_queries == 20
+
+    def test_accepts_precomputed_answers(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 5, rng=2)
+        actual = true_answers(small_dataset, workload)
+        evaluation = evaluate_workload(small_dataset, workload, actual)
+        assert evaluation.mean_relative_error == 0.0
+
+    def test_histogram_answerer(self, small_dataset):
+        counts = np.zeros((50, 40))
+        np.add.at(
+            counts, (small_dataset.column(0), small_dataset.column(1)), 1.0
+        )
+        histogram = DenseNoisyHistogram(counts)
+        workload = random_workload(small_dataset.schema, 15, rng=3)
+        evaluation = evaluate_workload(histogram, workload, small_dataset)
+        assert evaluation.mean_relative_error == 0.0
+
+    def test_callable_answerer(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 5, rng=4)
+        evaluation = evaluate_workload(
+            lambda q: 0.0, workload, small_dataset, sanity_bound=1.0
+        )
+        # All answers zero: relative error equals actual/max(actual, 1).
+        assert evaluation.mean_relative_error <= 1.0
+
+    def test_dataset_answerer_helper(self, small_dataset):
+        answer = dataset_answerer(small_dataset)
+        query = RangeQuery(((0, 49), (0, 39)))
+        assert answer(query) == small_dataset.n_records
+
+    def test_biased_source_measured(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 10, rng=5)
+        actual = true_answers(small_dataset, workload)
+        evaluation = evaluate_workload(
+            lambda q: float(q.count(small_dataset)) + 10.0,
+            workload,
+            actual,
+        )
+        assert evaluation.mean_absolute_error == pytest.approx(10.0)
+
+    def test_rejects_answer_count_mismatch(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 5, rng=6)
+        with pytest.raises(ValueError):
+            evaluate_workload(small_dataset, workload, np.zeros(3))
+
+    def test_rejects_unanswerable_source(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 2, rng=7)
+        with pytest.raises(TypeError):
+            evaluate_workload(42, workload, small_dataset)
+
+    def test_str_representation(self, small_dataset):
+        workload = random_workload(small_dataset.schema, 3, rng=8)
+        evaluation = evaluate_workload(small_dataset, workload, small_dataset)
+        text = str(evaluation)
+        assert "RE mean" in text and "3 queries" in text

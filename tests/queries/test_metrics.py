@@ -1,0 +1,100 @@
+"""Tests for the distributional utility metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+from repro.queries.metrics import (
+    all_margin_tvds,
+    margin_kolmogorov,
+    margin_tvd,
+    pairwise_tau_error,
+    two_way_tvd,
+    utility_report,
+)
+
+
+def _shuffle_column(dataset: Dataset, column: int, seed: int) -> Dataset:
+    values = dataset.values.copy()
+    rng = np.random.default_rng(seed)
+    values[:, column] = rng.permutation(values[:, column])
+    return Dataset(values, dataset.schema)
+
+
+class TestMarginMetrics:
+    def test_identical_is_zero(self, small_dataset):
+        assert margin_tvd(small_dataset, small_dataset, 0) == 0.0
+        assert margin_kolmogorov(small_dataset, small_dataset, 0) == 0.0
+
+    def _zipf_clone(self, dataset, seed):
+        """A same-schema dataset with very different (zipf) margins."""
+        spec = SyntheticSpec(
+            n_records=200, domain_sizes=(50, 40), margins="zipf"
+        )
+        generated = gaussian_dependence_data(spec, rng=seed)
+        return Dataset(generated.values, dataset.schema)
+
+    def test_tvd_bounded_by_one(self, small_dataset):
+        other = self._zipf_clone(small_dataset, seed=0)
+        tvd = margin_tvd(small_dataset, other, 0)
+        assert 0.0 < tvd <= 1.0
+
+    def test_kolmogorov_bounded_by_tvd(self, small_dataset):
+        other = self._zipf_clone(small_dataset, seed=1)
+        # KS (sup of CDF differences) <= TVD always.
+        assert margin_kolmogorov(small_dataset, other, 0) <= margin_tvd(
+            small_dataset, other, 0
+        ) + 1e-12
+
+    def test_all_margin_tvds_length(self, synthetic_4d):
+        tvds = all_margin_tvds(synthetic_4d, synthetic_4d)
+        assert tvds == [0.0, 0.0, 0.0, 0.0]
+
+    def test_rejects_schema_mismatch(self, small_dataset, synthetic_4d):
+        with pytest.raises(ValueError):
+            margin_tvd(small_dataset, synthetic_4d, 0)
+
+
+class TestDependenceMetrics:
+    def test_shuffling_breaks_dependence(self, synthetic_4d):
+        shuffled = _shuffle_column(synthetic_4d, 0, seed=0)
+        error = pairwise_tau_error(synthetic_4d, shuffled, rng=1)
+        assert error > 0.2
+        # Margins unchanged by the shuffle.
+        assert margin_tvd(synthetic_4d, shuffled, 0) == 0.0
+
+    def test_two_way_tvd_detects_shuffle(self, synthetic_4d):
+        shuffled = _shuffle_column(synthetic_4d, 0, seed=2)
+        assert two_way_tvd(synthetic_4d, shuffled, 0, 1) > 0.05
+
+    def test_two_way_tvd_zero_on_identical(self, synthetic_4d):
+        assert two_way_tvd(synthetic_4d, synthetic_4d, 0, 1) == 0.0
+
+    def test_two_way_bins_validation(self, synthetic_4d):
+        with pytest.raises(ValueError):
+            two_way_tvd(synthetic_4d, synthetic_4d, 0, 1, bins=1)
+
+
+class TestUtilityReport:
+    def test_identical_report_is_all_zero(self, synthetic_4d):
+        report = utility_report(synthetic_4d, synthetic_4d)
+        assert report.worst_margin_tvd == 0.0
+        assert report.max_tau_error == pytest.approx(0.0, abs=1e-12)
+        assert report.worst_two_way_tvd == 0.0
+
+    def test_pair_count(self, synthetic_4d):
+        report = utility_report(synthetic_4d, synthetic_4d)
+        assert len(report.two_way_tvds) == 6  # C(4,2)
+
+    def test_str(self, synthetic_4d):
+        report = utility_report(synthetic_4d, synthetic_4d)
+        assert "UtilityReport" in str(report)
+
+    def test_dpcopula_release_scores_reasonably(self, synthetic_4d):
+        from repro.core.dpcopula import DPCopulaKendall
+
+        synthetic = DPCopulaKendall(epsilon=5.0, rng=0).fit_sample(synthetic_4d)
+        report = utility_report(synthetic_4d, synthetic)
+        assert report.worst_margin_tvd < 0.3
+        assert report.max_tau_error < 0.4

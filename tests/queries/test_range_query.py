@@ -1,0 +1,129 @@
+"""Tests for range-count queries and workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset, Schema
+from repro.queries.range_query import (
+    RangeQuery,
+    random_workload,
+    workload_with_volume,
+)
+
+
+class TestRangeQuery:
+    def test_matches_and_count(self, small_dataset):
+        query = RangeQuery(((0, 24), (0, 39)))
+        expected = int((small_dataset.column(0) <= 24).sum())
+        assert query.count(small_dataset) == expected
+
+    def test_full_domain_counts_everything(self, small_dataset):
+        query = RangeQuery(((0, 49), (0, 39)))
+        assert query.count(small_dataset) == small_dataset.n_records
+
+    def test_volume(self):
+        query = RangeQuery(((0, 9), (5, 9)))
+        assert query.volume() == 50.0
+
+    def test_selectivity(self, schema_2d):
+        query = RangeQuery(((0, 24), (0, 19)))
+        assert query.selectivity(schema_2d) == pytest.approx(0.25)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            RangeQuery(((5, 3),))
+
+    def test_rejects_dimension_mismatch(self, small_dataset):
+        query = RangeQuery(((0, 10),))
+        with pytest.raises(ValueError):
+            query.count(small_dataset)
+
+
+class TestRandomWorkload:
+    def test_size_and_dimensions(self, schema_2d):
+        workload = random_workload(schema_2d, 25, rng=0)
+        assert len(workload) == 25
+        assert all(q.dimensions == 2 for q in workload)
+
+    def test_ranges_within_domains(self, schema_2d):
+        workload = random_workload(schema_2d, 200, rng=1)
+        for query in workload:
+            for (low, high), attribute in zip(query.ranges, schema_2d):
+                assert 0 <= low <= high < attribute.domain_size
+
+    def test_deterministic_given_seed(self, schema_2d):
+        a = random_workload(schema_2d, 10, rng=2)
+        b = random_workload(schema_2d, 10, rng=2)
+        assert a == b
+
+    def test_rejects_zero_queries(self, schema_2d):
+        with pytest.raises(ValueError):
+            random_workload(schema_2d, 0)
+
+
+class TestWorkloadWithVolume:
+    @given(st.floats(min_value=1.0, max_value=2000.0), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_volumes_close_to_target(self, target, seed):
+        schema = Schema.from_domain_sizes([50, 40])
+        workload = workload_with_volume(schema, target, 5, rng=seed)
+        for query in workload:
+            assert query.volume() == pytest.approx(target, rel=0.6)
+
+    def test_ranges_within_domains(self, schema_2d):
+        workload = workload_with_volume(schema_2d, 100.0, 50, rng=3)
+        for query in workload:
+            for (low, high), attribute in zip(query.ranges, schema_2d):
+                assert 0 <= low <= high < attribute.domain_size
+
+    def test_volume_one_gives_cell_queries(self, schema_2d):
+        workload = workload_with_volume(schema_2d, 1.0, 20, rng=4)
+        assert all(query.volume() == 1.0 for query in workload)
+
+    def test_target_capped_at_domain_space(self, schema_2d):
+        workload = workload_with_volume(schema_2d, 1e12, 5, rng=5)
+        for query in workload:
+            assert query.volume() <= schema_2d.domain_space()
+
+    def test_rejects_sub_one_volume(self, schema_2d):
+        with pytest.raises(ValueError):
+            workload_with_volume(schema_2d, 0.5, 5)
+
+
+class TestAnchoredWorkload:
+    def test_every_query_nonempty(self, small_dataset):
+        from repro.queries.range_query import anchored_workload
+
+        workload = anchored_workload(small_dataset, 100, rng=0)
+        assert all(query.count(small_dataset) >= 1 for query in workload)
+
+    def test_ranges_within_domains(self, small_dataset):
+        from repro.queries.range_query import anchored_workload
+
+        workload = anchored_workload(small_dataset, 100, rng=1)
+        for query in workload:
+            for (low, high), attribute in zip(query.ranges, small_dataset.schema):
+                assert 0 <= low <= high < attribute.domain_size
+
+    def test_nonempty_even_on_skewed_high_dimensional_data(self):
+        from repro.data.synthetic import SyntheticSpec, gaussian_dependence_data
+        from repro.queries.range_query import anchored_workload
+
+        spec = SyntheticSpec(
+            n_records=500, domain_sizes=(200,) * 6, margins="zipf"
+        )
+        data = gaussian_dependence_data(spec, rng=2)
+        workload = anchored_workload(data, 50, rng=3)
+        assert all(query.count(data) >= 1 for query in workload)
+
+    def test_rejects_empty_dataset(self, schema_2d):
+        import numpy as np
+
+        from repro.data.dataset import Dataset
+        from repro.queries.range_query import anchored_workload
+
+        empty = Dataset(np.empty((0, 2), dtype=np.int64), schema_2d)
+        with pytest.raises(ValueError):
+            anchored_workload(empty, 5)

@@ -1,0 +1,136 @@
+"""Tests for the Greiner transform and normal-scores correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correlation import (
+    correlation_from_tau,
+    normal_scores_correlation,
+    tau_from_correlation,
+)
+from repro.stats.ecdf import pseudo_copula_transform
+
+
+class TestGreinerTransform:
+    def test_known_values(self):
+        assert correlation_from_tau(0.0) == pytest.approx(0.0)
+        assert correlation_from_tau(1.0) == pytest.approx(1.0)
+        assert correlation_from_tau(-1.0) == pytest.approx(-1.0)
+        assert correlation_from_tau(0.5) == pytest.approx(np.sin(np.pi / 4))
+
+    def test_matrix_diagonal_forced_to_one(self):
+        tau = np.array([[0.9, 0.5], [0.5, 0.9]])
+        rho = correlation_from_tau(tau)
+        assert np.allclose(np.diag(rho), 1.0)
+
+    def test_out_of_range_tau_clipped(self):
+        assert correlation_from_tau(1.5) == pytest.approx(1.0)
+        assert correlation_from_tau(-1.5) == pytest.approx(-1.0)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, tau):
+        assert tau_from_correlation(correlation_from_tau(tau)) == pytest.approx(
+            tau, abs=1e-7
+        )
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_and_bounded(self, tau):
+        rho = correlation_from_tau(tau)
+        assert -1.0 <= rho <= 1.0
+        # |rho| >= |tau| for the sine transform on [-1, 1].
+        assert abs(rho) >= abs(tau) - 1e-12
+
+
+class TestNormalScoresCorrelation:
+    def test_recovers_gaussian_correlation(self):
+        rng = np.random.default_rng(0)
+        target = 0.65
+        latent = rng.multivariate_normal(
+            [0, 0], [[1, target], [target, 1]], size=8000
+        )
+        u = pseudo_copula_transform(latent)
+        corr = normal_scores_correlation(u)
+        assert corr[0, 1] == pytest.approx(target, abs=0.03)
+
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(1)
+        u = pseudo_copula_transform(rng.standard_normal((500, 3)))
+        corr = normal_scores_correlation(u)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_invariant_to_monotone_margins(self):
+        """Normal-scores correlation only sees ranks."""
+        rng = np.random.default_rng(2)
+        latent = rng.multivariate_normal([0, 0], [[1, 0.5], [0.5, 1]], size=4000)
+        transformed = np.column_stack([np.exp(latent[:, 0]), latent[:, 1] ** 3])
+        a = normal_scores_correlation(pseudo_copula_transform(latent))
+        b = normal_scores_correlation(pseudo_copula_transform(transformed))
+        assert a[0, 1] == pytest.approx(b[0, 1], abs=1e-10)
+
+    def test_rejects_values_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            normal_scores_correlation(np.array([[0.5, 1.5], [0.2, 0.3]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            normal_scores_correlation(np.array([0.1, 0.2]))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.arange(20.0)
+        from repro.stats.correlation import spearman_rho
+
+        assert spearman_rho(x, x**3) == pytest.approx(1.0)
+        assert spearman_rho(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        from scipy import stats as sps
+
+        from repro.stats.correlation import spearman_rho
+
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 30, size=200).astype(float)  # heavy ties
+        y = x + rng.integers(0, 30, size=200)
+        expected = sps.spearmanr(x, y).statistic
+        assert spearman_rho(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_independent_near_zero(self):
+        from repro.stats.correlation import spearman_rho
+
+        rng = np.random.default_rng(1)
+        assert abs(
+            spearman_rho(rng.standard_normal(3000), rng.standard_normal(3000))
+        ) < 0.05
+
+    def test_rejects_bad_shapes(self):
+        from repro.stats.correlation import spearman_rho
+
+        with pytest.raises(ValueError):
+            spearman_rho(np.arange(3), np.arange(4))
+        with pytest.raises(ValueError):
+            spearman_rho(np.array([1.0]), np.array([1.0]))
+
+
+class TestSpearmanConversion:
+    def test_known_values(self):
+        from repro.stats.correlation import correlation_from_spearman
+
+        assert correlation_from_spearman(0.0) == pytest.approx(0.0)
+        assert correlation_from_spearman(1.0) == pytest.approx(1.0)
+        assert correlation_from_spearman(-1.0) == pytest.approx(-1.0)
+
+    def test_recovers_gaussian_correlation(self):
+        from repro.stats.correlation import correlation_from_spearman, spearman_rho
+
+        rng = np.random.default_rng(2)
+        target = 0.7
+        latent = rng.multivariate_normal(
+            [0, 0], [[1, target], [target, 1]], size=8000
+        )
+        rho_s = spearman_rho(latent[:, 0], latent[:, 1])
+        assert correlation_from_spearman(rho_s) == pytest.approx(target, abs=0.03)

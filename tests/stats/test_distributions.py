@@ -1,0 +1,95 @@
+"""Tests for the margin pmf families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import gaussian_pmf, margin_pmf, uniform_pmf, zipf_pmf
+
+
+class TestUniformPmf:
+    def test_flat_and_normalized(self):
+        pmf = uniform_pmf(10)
+        assert np.allclose(pmf, 0.1)
+
+    def test_single_bin(self):
+        assert uniform_pmf(1)[0] == 1.0
+
+
+class TestGaussianPmf:
+    def test_normalized(self):
+        assert gaussian_pmf(100).sum() == pytest.approx(1.0)
+
+    def test_peaked_at_center(self):
+        pmf = gaussian_pmf(101)
+        assert pmf.argmax() == 50
+
+    def test_symmetric(self):
+        pmf = gaussian_pmf(100)
+        assert np.allclose(pmf, pmf[::-1], atol=1e-12)
+
+    def test_spread_controls_concentration(self):
+        narrow = gaussian_pmf(100, spread=8.0)
+        wide = gaussian_pmf(100, spread=2.0)
+        assert narrow.max() > wide.max()
+
+    def test_degenerate_domain(self):
+        assert gaussian_pmf(1)[0] == 1.0
+
+
+class TestZipfPmf:
+    def test_normalized(self):
+        assert zipf_pmf(1000).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(50)
+        assert (np.diff(pmf) < 0).all()
+
+    def test_exponent_controls_skew(self):
+        mild = zipf_pmf(100, exponent=0.5)
+        steep = zipf_pmf(100, exponent=2.0)
+        assert steep[0] > mild[0]
+
+    def test_power_law_ratio(self):
+        pmf = zipf_pmf(100, exponent=1.0)
+        assert pmf[0] / pmf[9] == pytest.approx(10.0)
+
+
+class TestMarginPmf:
+    @pytest.mark.parametrize("family", ["gaussian", "normal", "uniform", "zipf"])
+    def test_family_names(self, family):
+        pmf = margin_pmf(family, 64)
+        assert pmf.size == 64
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_explicit_pmf_normalized(self):
+        pmf = margin_pmf([1.0, 3.0], 2)
+        assert np.allclose(pmf, [0.25, 0.75])
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            margin_pmf("cauchy", 10)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            margin_pmf([0.5, 0.5], 3)
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            margin_pmf([0.5, -0.5, 1.0], 3)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            margin_pmf([0.0, 0.0], 2)
+
+    @given(
+        st.sampled_from(["gaussian", "uniform", "zipf"]),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_valid_pmf(self, family, domain):
+        pmf = margin_pmf(family, domain)
+        assert pmf.size == domain
+        assert (pmf >= 0).all()
+        assert pmf.sum() == pytest.approx(1.0)

@@ -1,0 +1,163 @@
+"""Tests for empirical CDFs, pseudo-copula transform and HistogramCDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.ecdf import EmpiricalCDF, HistogramCDF, pseudo_copula_transform
+
+
+class TestEmpiricalCDF:
+    def test_equation_2_values(self):
+        # F̂(x) = #{X_i <= x} / (n + 1)
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0])
+        assert cdf(0.5) == pytest.approx(0.0)
+        assert cdf(1.0) == pytest.approx(1.0 / 4.0)
+        assert cdf(2.5) == pytest.approx(2.0 / 4.0)
+        assert cdf(10.0) == pytest.approx(3.0 / 4.0)
+
+    def test_values_strictly_below_one(self):
+        cdf = EmpiricalCDF(np.arange(100))
+        assert cdf(99).max() < 1.0
+
+    def test_monotone(self, rng):
+        sample = rng.standard_normal(200)
+        cdf = EmpiricalCDF(sample)
+        xs = np.linspace(-4, 4, 300)
+        values = cdf(xs)
+        assert (np.diff(values) >= 0).all()
+
+    def test_inverse_returns_sample_values(self, rng):
+        sample = rng.standard_normal(50)
+        cdf = EmpiricalCDF(sample)
+        out = cdf.inverse(np.linspace(0.01, 0.99, 20))
+        assert np.isin(out, sample).all()
+
+    def test_inverse_monotone(self, rng):
+        cdf = EmpiricalCDF(rng.standard_normal(100))
+        out = cdf.inverse(np.linspace(0.01, 0.99, 50))
+        assert (np.diff(out) >= 0).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+
+class TestPseudoCopulaTransform:
+    def test_range_strictly_inside_unit_interval(self, rng):
+        data = rng.standard_normal((100, 3))
+        u = pseudo_copula_transform(data)
+        assert (u > 0).all() and (u < 1).all()
+
+    def test_rank_formula_without_ties(self):
+        data = np.array([[3.0], [1.0], [2.0]])
+        u = pseudo_copula_transform(data)
+        assert u[:, 0] == pytest.approx([3 / 4, 1 / 4, 2 / 4])
+
+    def test_ties_get_common_rank(self):
+        data = np.array([[1.0], [1.0], [2.0]])
+        u = pseudo_copula_transform(data)
+        assert u[0, 0] == u[1, 0]
+
+    def test_preserves_order(self, rng):
+        data = rng.standard_normal((50, 1))
+        u = pseudo_copula_transform(data)
+        assert (np.argsort(data[:, 0]) == np.argsort(u[:, 0])).all()
+
+    def test_1d_input_promoted(self):
+        u = pseudo_copula_transform(np.array([1.0, 2.0, 3.0]))
+        assert u.shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pseudo_copula_transform(np.empty((0, 2)))
+
+
+class TestHistogramCDF:
+    def test_pmf_normalized(self):
+        cdf = HistogramCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.pmf.sum() == pytest.approx(1.0)
+
+    def test_negative_counts_clipped(self):
+        cdf = HistogramCDF([-5.0, 10.0])
+        assert cdf.pmf[0] == 0.0
+        assert cdf.pmf[1] == 1.0
+
+    def test_all_negative_falls_back_to_uniform(self):
+        cdf = HistogramCDF([-1.0, -2.0, -3.0])
+        assert np.allclose(cdf.pmf, 1.0 / 3.0)
+
+    def test_cdf_ends_at_one(self):
+        cdf = HistogramCDF([3.0, 1.0, 2.0])
+        assert cdf.cdf[-1] == 1.0
+
+    def test_midpoint_correction(self):
+        cdf = HistogramCDF([1.0, 1.0])
+        # F(0) = pmf(0)/2, F(1) = pmf(0) + pmf(1)/2.
+        assert cdf(0) == pytest.approx(0.25)
+        assert cdf(1) == pytest.approx(0.75)
+
+    def test_inverse_hits_every_positive_bin(self):
+        cdf = HistogramCDF([1.0, 1.0, 1.0, 1.0])
+        out = cdf.inverse(np.array([0.1, 0.3, 0.6, 0.9]))
+        assert (out == np.array([0, 1, 2, 3])).all()
+
+    def test_inverse_skips_zero_bins(self):
+        cdf = HistogramCDF([1.0, 0.0, 1.0])
+        out = cdf.inverse(np.linspace(0.01, 0.99, 100))
+        assert 1 not in out
+
+    def test_inverse_clips_out_of_range_uniforms(self):
+        cdf = HistogramCDF([1.0, 1.0])
+        assert cdf.inverse(np.array([-0.5]))[0] == 0
+        assert cdf.inverse(np.array([1.5]))[0] == 1
+
+    def test_roundtrip_through_midpoints(self):
+        cdf = HistogramCDF([5.0, 3.0, 2.0])
+        values = np.array([0, 1, 2])
+        assert (cdf.inverse(cdf(values)) == values).all()
+
+    def test_range_mass(self):
+        cdf = HistogramCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.range_mass(1, 2) == pytest.approx(0.5)
+        assert cdf.range_mass(0, 3) == pytest.approx(1.0)
+        assert cdf.range_mass(3, 2) == 0.0
+
+    def test_total_mass_tracks_input(self):
+        cdf = HistogramCDF([10.0, -2.0, 5.0])
+        assert cdf.total_mass == pytest.approx(15.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HistogramCDF([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_always_monotone_in_unit_interval(self, counts):
+        cdf = HistogramCDF(counts)
+        values = cdf.cdf
+        assert (np.diff(values) >= -1e-12).all()
+        assert 0.0 <= values[0] <= 1.0
+        assert values[-1] == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_always_lands_in_domain(self, counts, seed):
+        cdf = HistogramCDF(counts)
+        u = np.random.default_rng(seed).uniform(0, 1, size=64)
+        out = cdf.inverse(u)
+        assert (out >= 0).all() and (out < cdf.domain_size).all()

@@ -1,0 +1,99 @@
+"""Tests for the Rosenblatt-based copula goodness-of-fit machinery."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.goodness_of_fit import (
+    cramer_von_mises_uniform,
+    gaussian_copula_gof,
+    rosenblatt_transform,
+)
+
+
+def _gaussian_copula_sample(correlation, n, seed):
+    rng = np.random.default_rng(seed)
+    latent = rng.multivariate_normal(
+        np.zeros(correlation.shape[0]), correlation, size=n
+    )
+    return sps.norm.cdf(latent)
+
+
+def _t_copula_sample(correlation, df, n, seed):
+    rng = np.random.default_rng(seed)
+    normals = rng.multivariate_normal(
+        np.zeros(correlation.shape[0]), correlation, size=n
+    )
+    chi2 = rng.chisquare(df, size=n)
+    t_samples = normals / np.sqrt(chi2 / df)[:, None]
+    return sps.t.cdf(t_samples, df)
+
+
+CORRELATION = np.array([[1.0, 0.7], [0.7, 1.0]])
+
+
+class TestRosenblattTransform:
+    def test_output_in_unit_cube(self):
+        u = _gaussian_copula_sample(CORRELATION, 500, 0)
+        e = rosenblatt_transform(u, CORRELATION)
+        assert ((e >= 0) & (e <= 1)).all()
+
+    def test_true_model_gives_uniform_independent_coordinates(self):
+        u = _gaussian_copula_sample(CORRELATION, 8000, 1)
+        e = rosenblatt_transform(u, CORRELATION)
+        # Uniformity of each coordinate (KS test at generous alpha).
+        for j in range(2):
+            p = sps.kstest(e[:, j], "uniform").pvalue
+            assert p > 0.01
+        # Independence: correlation of transformed coordinates ~ 0.
+        assert abs(np.corrcoef(e.T)[0, 1]) < 0.05
+
+    def test_wrong_model_leaves_dependence(self):
+        u = _gaussian_copula_sample(CORRELATION, 8000, 2)
+        e = rosenblatt_transform(u, np.eye(2))
+        assert abs(np.corrcoef(sps.norm.ppf(np.clip(e, 1e-9, 1 - 1e-9)).T)[0, 1]) > 0.4
+
+    def test_first_coordinate_unchanged(self):
+        u = _gaussian_copula_sample(CORRELATION, 100, 3)
+        e = rosenblatt_transform(u, CORRELATION)
+        assert np.allclose(e[:, 0], u[:, 0], atol=1e-9)
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            rosenblatt_transform(np.full((5, 3), 0.5), CORRELATION)
+
+
+class TestCramerVonMises:
+    def test_perfectly_uniform_grid_is_minimal(self):
+        n = 100
+        grid = (2 * np.arange(1, n + 1) - 1) / (2.0 * n)
+        assert cramer_von_mises_uniform(grid) == pytest.approx(1 / (12 * n))
+
+    def test_concentrated_sample_scores_high(self):
+        assert cramer_von_mises_uniform(np.full(100, 0.5)) > 1.0 / 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cramer_von_mises_uniform(np.array([]))
+
+
+class TestGaussianCopulaGOF:
+    def test_accepts_true_model(self):
+        u = _gaussian_copula_sample(CORRELATION, 1500, 4)
+        result = gaussian_copula_gof(u, CORRELATION, n_bootstrap=60, rng=5)
+        assert not result.rejects(alpha=0.01)
+
+    def test_rejects_wrong_correlation(self):
+        u = _gaussian_copula_sample(CORRELATION, 1500, 6)
+        result = gaussian_copula_gof(u, np.eye(2), n_bootstrap=60, rng=7)
+        assert result.rejects(alpha=0.05)
+
+    def test_rejects_heavy_tails(self):
+        u = _t_copula_sample(CORRELATION, df=2.0, n=2000, seed=8)
+        result = gaussian_copula_gof(u, CORRELATION, n_bootstrap=60, rng=9)
+        assert result.rejects(alpha=0.05)
+
+    def test_p_value_in_unit_interval(self):
+        u = _gaussian_copula_sample(CORRELATION, 300, 10)
+        result = gaussian_copula_gof(u, CORRELATION, n_bootstrap=30, rng=11)
+        assert 0.0 < result.p_value <= 1.0

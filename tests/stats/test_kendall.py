@@ -1,0 +1,120 @@
+"""Tests for Kendall's tau, including merge-vs-naive property equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.kendall import (
+    kendall_tau,
+    kendall_tau_matrix,
+    kendall_tau_merge,
+    kendall_tau_naive,
+)
+
+
+class TestKnownValues:
+    def test_perfect_concordance(self):
+        x = np.arange(10)
+        assert kendall_tau_naive(x, x) == pytest.approx(1.0)
+        assert kendall_tau_merge(x, x) == pytest.approx(1.0)
+
+    def test_perfect_discordance(self):
+        x = np.arange(10)
+        assert kendall_tau_naive(x, -x) == pytest.approx(-1.0)
+        assert kendall_tau_merge(x, -x) == pytest.approx(-1.0)
+
+    def test_handcomputed_example(self):
+        # pairs: (1,2)c,(1,3)c,(2,3)d -> (2-1)/3
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 3.0, 2.0])
+        assert kendall_tau_naive(x, y) == pytest.approx(1.0 / 3.0)
+        assert kendall_tau_merge(x, y) == pytest.approx(1.0 / 3.0)
+
+    def test_all_tied_is_zero(self):
+        x = np.ones(6)
+        y = np.arange(6.0)
+        assert kendall_tau_naive(x, y) == pytest.approx(0.0)
+        assert kendall_tau_merge(x, y) == pytest.approx(0.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(3000)
+        y = rng.standard_normal(3000)
+        assert abs(kendall_tau_merge(x, y)) < 0.05
+
+
+class TestMergeMatchesNaive:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-20, max_value=20),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equivalence_with_ties(self, pairs):
+        """Knight's O(n log n) algorithm equals the O(n^2) definition,
+        including on data with heavy ties in either or both coordinates."""
+        x = np.array([p[0] for p in pairs], dtype=float)
+        y = np.array([p[1] for p in pairs], dtype=float)
+        assert kendall_tau_merge(x, y) == pytest.approx(
+            kendall_tau_naive(x, y), abs=1e-12
+        )
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_on_continuous_data(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(200)
+        y = 0.5 * x + rng.standard_normal(200)
+        assert kendall_tau_merge(x, y) == pytest.approx(
+            kendall_tau_naive(x, y), abs=1e-12
+        )
+
+    def test_matches_scipy_tau_a_semantics(self):
+        """On tie-free data our tau-a equals scipy's tau-b."""
+        from scipy import stats as sps
+
+        rng = np.random.default_rng(3)
+        x = rng.permutation(100).astype(float)
+        y = rng.permutation(100).astype(float)
+        expected = sps.kendalltau(x, y).statistic
+        assert kendall_tau_merge(x, y) == pytest.approx(expected, abs=1e-12)
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau_merge(np.arange(3), np.arange(4))
+
+    def test_rejects_single_observation(self):
+        with pytest.raises(ValueError):
+            kendall_tau_naive(np.array([1.0]), np.array([1.0]))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            kendall_tau(np.arange(3), np.arange(3), method="quantum")
+
+
+class TestTauMatrix:
+    def test_diagonal_is_one(self, synthetic_4d):
+        matrix = kendall_tau_matrix(synthetic_4d.values[:300])
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, synthetic_4d):
+        matrix = kendall_tau_matrix(synthetic_4d.values[:300])
+        assert np.allclose(matrix, matrix.T)
+
+    def test_methods_agree(self, synthetic_4d):
+        sample = synthetic_4d.values[:150]
+        merge = kendall_tau_matrix(sample, method="merge")
+        naive = kendall_tau_matrix(sample, method="naive")
+        assert np.allclose(merge, naive)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            kendall_tau_matrix(np.arange(10))

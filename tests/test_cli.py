@@ -1,0 +1,173 @@
+"""Tests for the user-facing ``dpcopula`` command."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.io import load_dataset_csv, save_dataset_csv
+
+
+@pytest.fixture
+def csv_dataset(tmp_path, rng):
+    schema = Schema([Attribute("a", 60), Attribute("b", 80)])
+    latent = rng.multivariate_normal([0, 0], [[1, 0.6], [0.6, 1]], size=600)
+    a = np.clip(((latent[:, 0] + 3) / 6 * 60).astype(int), 0, 59)
+    b = np.clip(((latent[:, 1] + 3) / 6 * 80).astype(int), 0, 79)
+    dataset = Dataset(np.column_stack([a, b]), schema)
+    path = tmp_path / "data.csv"
+    save_dataset_csv(dataset, path)
+    return path, dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize", "in.csv", "out.csv"])
+        assert args.epsilon == 1.0
+        assert args.method == "kendall"
+        assert args.k == 8.0
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["synthesize", "in.csv", "out.csv", "--method", "bayes"]
+            )
+
+
+class TestSynthesize:
+    def test_end_to_end(self, csv_dataset, tmp_path, capsys):
+        input_path, original = csv_dataset
+        output_path = tmp_path / "synthetic.csv"
+        code = main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        synthetic = load_dataset_csv(output_path)
+        assert synthetic.schema == original.schema
+        assert synthetic.n_records == original.n_records
+        out = capsys.readouterr().out
+        assert "PrivacyBudget" in out
+
+    def test_n_override(self, csv_dataset, tmp_path):
+        input_path, _ = csv_dataset
+        output_path = tmp_path / "synthetic.csv"
+        main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--n",
+                "123",
+                "--seed",
+                "0",
+            ]
+        )
+        assert load_dataset_csv(output_path).n_records == 123
+
+    def test_save_model_and_resample(self, csv_dataset, tmp_path):
+        input_path, _ = csv_dataset
+        output_path = tmp_path / "synthetic.csv"
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--seed",
+                "0",
+                "--save-model",
+                str(model_path),
+            ]
+        )
+        assert model_path.exists()
+        more_path = tmp_path / "more.csv"
+        code = main(
+            ["resample", str(model_path), str(more_path), "--n", "50", "--seed", "1"]
+        )
+        assert code == 0
+        assert load_dataset_csv(more_path).n_records == 50
+
+    def test_report_flag(self, csv_dataset, tmp_path, capsys):
+        input_path, _ = csv_dataset
+        output_path = tmp_path / "synthetic.csv"
+        main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--seed",
+                "0",
+                "--report",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "UtilityReport" in out
+        assert "TVD" in out
+
+    def test_mle_method(self, csv_dataset, tmp_path):
+        input_path, original = csv_dataset
+        output_path = tmp_path / "synthetic.csv"
+        code = main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--method",
+                "mle",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert load_dataset_csv(output_path).schema == original.schema
+
+
+class TestHybridViaCLI:
+    def test_hybrid_on_mixed_schema(self, tmp_path, mixed_schema_dataset):
+        input_path = tmp_path / "mixed.csv"
+        save_dataset_csv(mixed_schema_dataset, input_path)
+        output_path = tmp_path / "synthetic.csv"
+        code = main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--method",
+                "hybrid",
+                "--epsilon",
+                "2.0",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        synthetic = load_dataset_csv(output_path)
+        assert synthetic.schema == mixed_schema_dataset.schema
+
+
+class TestInspect:
+    def test_prints_schema(self, csv_dataset, capsys):
+        input_path, _ = csv_dataset
+        assert main(["inspect", str(input_path)]) == 0
+        out = capsys.readouterr().out
+        assert "a: |A| = 60" in out
+        assert "large-domain" in out
+
+    def test_flags_small_domains(self, tmp_path, mixed_schema_dataset, capsys):
+        input_path = tmp_path / "mixed.csv"
+        save_dataset_csv(mixed_schema_dataset, input_path)
+        main(["inspect", str(input_path)])
+        out = capsys.readouterr().out
+        assert "small-domain attributes present" in out

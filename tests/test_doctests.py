@@ -1,0 +1,38 @@
+"""Execute the doctest examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.streaming
+import repro.data.discretize
+import repro.dp.budget
+import repro.dp.mechanisms
+import repro.dp.sensitivity
+import repro.experiments.plotting
+import repro.utils
+
+MODULES_WITH_DOCTESTS = [
+    repro.utils,
+    repro.dp.budget,
+    repro.dp.mechanisms,
+    repro.dp.sensitivity,
+    repro.experiments.plotting,
+    repro.core.streaming,
+    repro.data.discretize,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_package_docstring_example():
+    """The package-level quickstart in repro/__init__.py must run."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,82 @@
+"""Tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_generator,
+    check_int_at_least,
+    check_matrix_square,
+    check_positive,
+    check_probability,
+    pairs_count,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("value", [1.0, 0.001, 1e9])
+    def test_accepts_positive(self, value):
+        assert check_positive("v", value) == value
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, value):
+        with pytest.raises(ValueError):
+            check_positive("v", value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckIntAtLeast:
+    def test_accepts_integer(self):
+        assert check_int_at_least("n", 5, 1) == 5
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError):
+            check_int_at_least("n", 0, 1)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_int_at_least("n", 2.5, 1)
+
+
+class TestCheckMatrixSquare:
+    def test_accepts_square(self):
+        out = check_matrix_square("m", [[1, 0], [0, 1]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            check_matrix_square("m", np.zeros((2, 3)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_matrix_square("m", np.zeros(4))
+
+
+class TestPairsCount:
+    @pytest.mark.parametrize("m,expected", [(1, 0), (2, 1), (4, 6), (8, 28)])
+    def test_binomial(self, m, expected):
+        assert pairs_count(m) == expected

@@ -47,7 +47,14 @@ from repro.data import (
     gaussian_dependence_data,
     us_census,
 )
-from repro.dp import PrivacyBudget
+from repro.dp import BudgetExhaustedError, PrivacyBudget
+from repro.service import (
+    ModelRegistry,
+    PrivacyAccountant,
+    ServiceConfig,
+    SynthesisService,
+    build_server,
+)
 from repro.queries import (
     RangeQuery,
     evaluate_workload,
@@ -77,6 +84,12 @@ __all__ = [
     "us_census",
     "brazil_census",
     "PrivacyBudget",
+    "BudgetExhaustedError",
+    "ModelRegistry",
+    "PrivacyAccountant",
+    "ServiceConfig",
+    "SynthesisService",
+    "build_server",
     "RangeQuery",
     "random_workload",
     "workload_with_volume",

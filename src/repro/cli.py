@@ -22,11 +22,18 @@ Re-sample a previously released model (no new privacy cost)::
 Inspect a dataset's schema::
 
     dpcopula inspect data.csv
+    dpcopula inspect data.csv --json
+
+Run the long-running synthesis service (upload datasets, fit models,
+sample over HTTP — see docs/SERVICE.md)::
+
+    dpcopula serve --data-dir ./service-data --port 8639
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -87,10 +94,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = commands.add_parser("inspect", help="print a dataset's schema")
     inspect.add_argument("input", help="integer-coded CSV")
+    inspect.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (same document as the service's "
+        "dataset-inspect endpoint)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the synthesis HTTP service (see docs/SERVICE.md)"
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for datasets, registered models and the privacy ledger",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8639, help="bind port")
+    serve.add_argument(
+        "--epsilon-cap",
+        type=float,
+        default=10.0,
+        help="lifetime per-dataset privacy cap enforced by the accountant "
+        "(default 10.0)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
     return parser
 
 
 def _synthesize(args) -> int:
+    if args.save_model and args.method == "hybrid":
+        print(
+            "error: --save-model is unsupported for the hybrid method: its "
+            "per-cell models are not captured by the released-model format, "
+            "so the saved file could not be resampled faithfully",
+            file=sys.stderr,
+        )
+        return 2
     data = load_dataset_csv(args.input)
     print(f"loaded {data}")
     if args.method == "hybrid":
@@ -118,15 +160,8 @@ def _synthesize(args) -> int:
     print(synthesizer.budget_.summary())
 
     if args.save_model:
-        if model is None:
-            print(
-                "warning: --save-model is unsupported for the hybrid method "
-                "(per-cell models are not captured); skipping",
-                file=sys.stderr,
-            )
-        else:
-            model.save(args.save_model)
-            print(f"released model saved to {args.save_model}")
+        model.save(args.save_model)
+        print(f"released model saved to {args.save_model}")
 
     if args.report:
         print()
@@ -154,6 +189,11 @@ def _resample(args) -> int:
 
 def _inspect(args) -> int:
     data = load_dataset_csv(args.input)
+    if args.json:
+        from repro.service.serializers import dataset_summary
+
+        print(json.dumps(dataset_summary(data), indent=2, sort_keys=True))
+        return 0
     print(data)
     print(f"domain space: {data.schema.domain_space():.6g} cells")
     for attribute in data.schema:
@@ -168,6 +208,29 @@ def _inspect(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    from repro.service import ServiceConfig, SynthesisService, build_server
+
+    service = SynthesisService(
+        ServiceConfig(data_dir=args.data_dir, epsilon_cap=args.epsilon_cap)
+    )
+    server = build_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"synthesis service listening on http://{host}:{port}")
+    print(f"data directory: {args.data_dir} (ε cap {args.epsilon_cap:g}/dataset)")
+    print("endpoints: /health /datasets /fits /models — see docs/SERVICE.md")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``dpcopula`` command."""
     args = build_parser().parse_args(argv)
@@ -175,6 +238,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _synthesize(args)
     if args.command == "resample":
         return _resample(args)
+    if args.command == "serve":
+        return _serve(args)
     return _inspect(args)
 
 

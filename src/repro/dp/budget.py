@@ -12,7 +12,7 @@ mechanism consumed which slice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.utils import check_positive
 
@@ -91,6 +91,25 @@ class PrivacyBudget:
             raise ValueError(f"parts must be >= 1, got {parts}")
         share = self.remaining / parts
         return tuple(share for _ in range(parts))
+
+    @classmethod
+    def replay(
+        cls, epsilon: float, entries: Iterable[Tuple[str, float]]
+    ) -> "PrivacyBudget":
+        """Rebuild a ledger from journaled ``(label, amount)`` entries.
+
+        Historic spends are facts — privacy loss that already happened —
+        so replay records them verbatim even when they overdraw
+        ``epsilon`` (e.g. the cap was lowered after the spends were
+        made).  An overdrawn replayed ledger simply has zero remaining
+        budget; only *future* :meth:`spend` calls are enforced.
+        """
+        budget = cls(epsilon)
+        for label, amount in entries:
+            check_positive("replayed spend amount", amount)
+            budget.spent += float(amount)
+            budget.log.append((str(label), float(amount)))
+        return budget
 
     def subbudget(self, amount: float, label: str = "") -> "PrivacyBudget":
         """Spend ``amount`` here and return a fresh ledger of that size.

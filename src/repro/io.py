@@ -27,6 +27,12 @@ from repro.utils import RngLike
 
 PathLike = Union[str, Path]
 
+#: Version of the ``ReleasedModel`` NPZ layout.  Bump when the payload
+#: keys or their meaning change; :meth:`ReleasedModel.load` refuses
+#: versions it does not understand so stale services fail loudly instead
+#: of sampling garbage.
+MODEL_FORMAT_VERSION = 1
+
 _COLUMN_PATTERN = re.compile(r"^(?P<name>.+)\[(?P<domain>\d+)\]$")
 
 
@@ -134,13 +140,14 @@ class ReleasedModel:
         margins = [HistogramCDF(counts) for counts in self.margin_counts]
         return sample_synthetic(self.correlation, margins, int(n), self.schema, rng)
 
-    def save(self, path: PathLike) -> None:
-        """Persist to NPZ."""
+    def save(self, path) -> None:
+        """Persist to NPZ (a path or an open binary file object)."""
         payload = {
             "correlation": self.correlation,
             "meta": np.array(
                 json.dumps(
                     {
+                        "format_version": MODEL_FORMAT_VERSION,
                         "schema": [[a.name, a.domain_size] for a in self.schema],
                         "n_records": self.n_records,
                         "epsilon": self.epsilon,
@@ -150,13 +157,26 @@ class ReleasedModel:
         }
         for j, counts in enumerate(self.margin_counts):
             payload[f"margin_{j}"] = counts
-        np.savez_compressed(Path(path), **payload)
+        # Accept an open binary file object as well as a path so callers
+        # (e.g. the service registry) can stage the payload for atomic
+        # writes.
+        target = path if hasattr(path, "write") else Path(path)
+        np.savez_compressed(target, **payload)
 
     @classmethod
-    def load(cls, path: PathLike) -> "ReleasedModel":
-        """Restore from NPZ."""
-        with np.load(Path(path), allow_pickle=False) as archive:
+    def load(cls, path) -> "ReleasedModel":
+        """Restore from NPZ (a path or an open binary file object)."""
+        source = path if hasattr(path, "read") else Path(path)
+        with np.load(source, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
+            # Files written before versioning carry the version-1 layout.
+            version = int(meta.get("format_version", 1))
+            if version != MODEL_FORMAT_VERSION:
+                raise ValueError(
+                    f"released model {path} has format version {version}; "
+                    f"this build reads version {MODEL_FORMAT_VERSION} — "
+                    "re-fit or convert the model with a matching build"
+                )
             schema = Schema(
                 Attribute(name, int(size)) for name, size in meta["schema"]
             )

@@ -1,0 +1,170 @@
+"""Cross-request, cross-restart privacy accounting.
+
+A single in-process :class:`~repro.dp.budget.PrivacyBudget` dies with
+the process, which is exactly wrong for a long-running service: the
+privacy loss a dataset has suffered is a property of the *data*, not of
+any server instance.  :class:`PrivacyAccountant` therefore journals
+every fit's ε spend to an append-only JSONL ledger file and rebuilds
+the per-dataset ledgers from it on startup, so a restarted (or
+horizontally re-deployed, pointed at the same data directory) service
+keeps refusing fits that would push a dataset past its lifetime cap.
+
+Sampling never goes through the accountant: drawing records from a
+released model is post-processing and costs nothing (paper §3.3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.dp.budget import BudgetExhaustedError, PrivacyBudget
+from repro.service.config import PathLike
+from repro.utils import check_positive
+
+__all__ = ["PrivacyAccountant", "BudgetExhaustedError"]
+
+
+class PrivacyAccountant:
+    """A durable per-dataset ε ledger with a configurable lifetime cap.
+
+    Parameters
+    ----------
+    ledger_path:
+        The append-only JSONL journal.  Created on first charge; an
+        existing journal is replayed on construction, which is how the
+        accountant survives process restarts.
+    epsilon_cap:
+        Maximum cumulative ε any single dataset may spend across all
+        fits, ever.  Charges that would exceed it raise
+        :class:`~repro.dp.budget.BudgetExhaustedError` and are *not*
+        journaled.
+    """
+
+    def __init__(self, ledger_path: PathLike, epsilon_cap: float):
+        self.ledger_path = Path(ledger_path)
+        self.epsilon_cap = check_positive("epsilon_cap", epsilon_cap)
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+        self._budgets: Dict[str, PrivacyBudget] = {}
+        self._replay()
+
+    def _replay(self) -> None:
+        """Rebuild per-dataset ledgers from the journal file."""
+        if not self.ledger_path.exists():
+            return
+        per_dataset: Dict[str, List] = {}
+        with self.ledger_path.open() as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    dataset = str(entry["dataset"])
+                    epsilon = float(entry["epsilon"])
+                except (ValueError, KeyError, TypeError) as exc:
+                    # A ledger we cannot read is a ledger we cannot
+                    # trust; refusing to start is the only safe default.
+                    raise ValueError(
+                        f"privacy ledger {self.ledger_path} is corrupt at "
+                        f"line {lineno}: {exc}"
+                    ) from exc
+                self._entries.append(entry)
+                per_dataset.setdefault(dataset, []).append(
+                    (str(entry.get("label", "")), epsilon)
+                )
+        for dataset, spends in per_dataset.items():
+            self._budgets[dataset] = PrivacyBudget.replay(self.epsilon_cap, spends)
+
+    def spent(self, dataset_id: str) -> float:
+        """Cumulative ε already charged to ``dataset_id``."""
+        with self._lock:
+            budget = self._budgets.get(dataset_id)
+            return budget.spent if budget is not None else 0.0
+
+    def remaining(self, dataset_id: str) -> float:
+        """ε still available to ``dataset_id`` under the cap."""
+        with self._lock:
+            budget = self._budgets.get(dataset_id)
+            return budget.remaining if budget is not None else self.epsilon_cap
+
+    def can_charge(self, dataset_id: str, epsilon: float) -> bool:
+        """Whether a charge of ``epsilon`` would fit under the cap."""
+        with self._lock:
+            budget = self._budgets.get(dataset_id)
+            if budget is None:
+                budget = PrivacyBudget(self.epsilon_cap)
+            return budget.can_spend(epsilon)
+
+    def charge(self, dataset_id: str, epsilon: float, label: str = "fit") -> float:
+        """Charge ``epsilon`` against ``dataset_id`` and journal it.
+
+        The in-memory spend and the journal append happen under one
+        lock, so concurrent fit workers cannot jointly overdraw the
+        cap.  Raises :class:`BudgetExhaustedError` (journaling nothing)
+        when the charge does not fit.
+        """
+        check_positive("epsilon", epsilon)
+        with self._lock:
+            budget = self._budgets.setdefault(
+                dataset_id, PrivacyBudget(self.epsilon_cap)
+            )
+            budget.spend(epsilon, label)  # raises BudgetExhaustedError
+            entry = {
+                "dataset": dataset_id,
+                "epsilon": float(epsilon),
+                "label": label,
+                "timestamp": time.time(),
+            }
+            try:
+                self._append(entry)
+            except BaseException:
+                # The journal is the source of truth: a spend we could
+                # not record must not count against future charges.
+                budget.spent -= float(epsilon)
+                budget.log.pop()
+                raise
+            self._entries.append(entry)
+            return float(epsilon)
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self.ledger_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.ledger_path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def entries(self, dataset_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Journal entries, optionally restricted to one dataset."""
+        with self._lock:
+            if dataset_id is None:
+                return [dict(e) for e in self._entries]
+            return [dict(e) for e in self._entries if e["dataset"] == dataset_id]
+
+    def summary(self, dataset_id: str) -> Dict[str, Any]:
+        """JSON-ready accounting state for one dataset."""
+        with self._lock:
+            budget = self._budgets.get(dataset_id)
+            spent = budget.spent if budget is not None else 0.0
+            remaining = budget.remaining if budget is not None else self.epsilon_cap
+            charges = [
+                {
+                    "epsilon": e["epsilon"],
+                    "label": e.get("label", ""),
+                    "timestamp": e.get("timestamp"),
+                }
+                for e in self._entries
+                if e["dataset"] == dataset_id
+            ]
+        return {
+            "dataset_id": dataset_id,
+            "epsilon_cap": self.epsilon_cap,
+            "epsilon_spent": spent,
+            "epsilon_remaining": remaining,
+            "charges": charges,
+        }

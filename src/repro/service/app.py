@@ -1,0 +1,238 @@
+"""The synthesis service: release once, serve forever.
+
+:class:`SynthesisService` is the transport-agnostic core behind the
+HTTP API (:mod:`repro.service.http`) and the ``dpcopula serve`` CLI.
+It ties together the four stateful pieces:
+
+* :class:`~repro.service.datasets.DatasetStore` — uploaded originals;
+* :class:`~repro.service.accountant.PrivacyAccountant` — the durable
+  per-dataset ε ledger;
+* :class:`~repro.service.jobs.FitWorker` — background fitting;
+* :class:`~repro.service.registry.ModelRegistry` — released models.
+
+The privacy story in one sentence: fits charge the accountant *before*
+touching the data and are refused once a dataset's lifetime ε cap is
+reached, while sampling a registered model is pure post-processing
+(paper §3.3 / Algorithm 3) and is therefore unmetered, unlimited and
+safe to serve concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.dpcopula import DEFAULT_RATIO_K, DPCopulaKendall, DPCopulaMLE
+from repro.io import ReleasedModel
+from repro.service.accountant import PrivacyAccountant
+from repro.service.config import ServiceConfig
+from repro.service.datasets import DatasetStore
+from repro.service.errors import BudgetRefusedError, NotFoundError, ValidationError
+from repro.service.jobs import FitJob, FitWorker
+from repro.service.registry import ModelRegistry
+from repro.service.serializers import dataset_summary, dataset_to_rows
+from repro.utils import as_generator
+
+__all__ = ["SynthesisService", "FIT_METHODS"]
+
+#: Methods the service can fit.  The hybrid is deliberately absent: its
+#: per-cell models are not captured by :class:`~repro.io.ReleasedModel`,
+#: so it cannot be registered for later sampling (see cli.py for the
+#: same restriction on ``--save-model``).
+FIT_METHODS = {
+    "kendall": DPCopulaKendall,
+    "mle": DPCopulaMLE,
+}
+
+#: Upper bound on records per sample request; prevents a single request
+#: from materializing an unbounded array in server memory.
+MAX_SAMPLE_N = 1_000_000
+
+
+def _key_error_message(exc: KeyError) -> str:
+    """The message inside a ``KeyError`` (``str()`` would re-quote it)."""
+    return str(exc.args[0]) if exc.args else str(exc)
+
+
+class SynthesisService:
+    """Application core for the DP synthesis server."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        config.ensure_layout()
+        self.datasets = DatasetStore(config.datasets_dir)
+        self.registry = ModelRegistry(config.models_dir)
+        self.accountant = PrivacyAccountant(config.ledger_path, config.epsilon_cap)
+        self.worker = FitWorker(self._execute_fit)
+
+    # -- datasets ---------------------------------------------------------
+
+    def upload_dataset(self, dataset_id: str, csv_text: str) -> Dict[str, Any]:
+        """Validate, persist and summarize an uploaded CSV."""
+        if not csv_text or not csv_text.strip():
+            raise ValidationError("empty CSV upload")
+        try:
+            return self.datasets.put(dataset_id, csv_text)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from exc
+
+    def inspect_dataset(self, dataset_id: str) -> Dict[str, Any]:
+        """The shared ``inspect --json`` document plus accounting state."""
+        try:
+            dataset = self.datasets.get(dataset_id)
+        except KeyError as exc:
+            raise NotFoundError(_key_error_message(exc)) from exc
+        summary = dataset_summary(dataset, name=dataset_id)
+        summary["budget"] = self.accountant.summary(dataset_id)
+        return summary
+
+    def list_datasets(self) -> List[Dict[str, Any]]:
+        return self.datasets.list()
+
+    def budget_summary(self, dataset_id: str) -> Dict[str, Any]:
+        if dataset_id not in self.datasets:
+            raise NotFoundError(f"no dataset uploaded under id {dataset_id!r}")
+        return self.accountant.summary(dataset_id)
+
+    # -- fitting ----------------------------------------------------------
+
+    def submit_fit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a fit request and enqueue it; returns the job view.
+
+        The authoritative budget charge happens in the worker (under the
+        accountant's lock, in submission order); this method fast-fails
+        requests that *already* cannot fit so clients get an immediate
+        409 instead of a failed job.
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError("fit request body must be a JSON object")
+        dataset_id = payload.get("dataset_id")
+        if not isinstance(dataset_id, str) or dataset_id not in self.datasets:
+            raise NotFoundError(f"no dataset uploaded under id {dataset_id!r}")
+        method = payload.get("method", "kendall")
+        if method not in FIT_METHODS:
+            supported = ", ".join(sorted(FIT_METHODS))
+            detail = (
+                " (the hybrid's per-cell models cannot be registered for "
+                "later sampling)"
+                if method == "hybrid"
+                else ""
+            )
+            raise ValidationError(
+                f"unsupported fit method {method!r}: the service fits "
+                f"{supported}{detail}"
+            )
+        try:
+            epsilon = float(payload.get("epsilon", 1.0))
+            k = float(payload.get("k", DEFAULT_RATIO_K))
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"epsilon and k must be numbers: {exc}") from exc
+        if epsilon <= 0 or k <= 0:
+            raise ValidationError("epsilon and k must be positive")
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ValidationError("seed must be an integer or null")
+        if not self.accountant.can_charge(dataset_id, epsilon):
+            raise BudgetRefusedError(
+                f"fit refused: ε={epsilon:.6g} exceeds the remaining "
+                f"{self.accountant.remaining(dataset_id):.6g} of dataset "
+                f"{dataset_id!r}'s lifetime cap "
+                f"{self.accountant.epsilon_cap:.6g}"
+            )
+        job = FitJob(
+            job_id=FitWorker.new_job_id(),
+            dataset_id=dataset_id,
+            method=method,
+            epsilon=epsilon,
+            k=k,
+            seed=seed,
+        )
+        return self.worker.submit(job).to_dict()
+
+    def _execute_fit(self, job: FitJob) -> str:
+        """Worker entry point: charge the ledger, fit, register."""
+        dataset = self.datasets.get(job.dataset_id)
+        # Charge before fitting: once the mechanisms below see the data
+        # the privacy loss is real, so an overdraft must stop us here.
+        self.accountant.charge(
+            job.dataset_id, job.epsilon, label=f"fit:{job.method}:{job.job_id}"
+        )
+        synthesizer = FIT_METHODS[job.method](job.epsilon, k=job.k, rng=job.seed)
+        synthesizer.fit(dataset)
+        model = ReleasedModel.from_synthesizer(synthesizer)
+        record = self.registry.put(
+            model,
+            dataset_id=job.dataset_id,
+            method=job.method,
+            extra={"k": job.k, "job_id": job.job_id},
+        )
+        return record.model_id
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        try:
+            return self.worker.get(job_id).to_dict()
+        except KeyError as exc:
+            raise NotFoundError(_key_error_message(exc)) from exc
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return [job.to_dict() for job in self.worker.list()]
+
+    # -- models -----------------------------------------------------------
+
+    def list_models(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self.registry.list()]
+
+    def model_info(self, model_id: str) -> Dict[str, Any]:
+        try:
+            return self.registry.record(model_id).to_dict()
+        except KeyError as exc:
+            raise NotFoundError(_key_error_message(exc)) from exc
+
+    def sample(
+        self,
+        model_id: str,
+        n: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Draw ``n`` synthetic records from a registered model.
+
+        Thread-safe by construction: each request gets its own
+        ``np.random.Generator`` (via ``utils.as_generator``) and the
+        cached :class:`~repro.io.ReleasedModel` is only ever read.
+        Costs no privacy budget — this is post-processing of an
+        already-released model.
+        """
+        try:
+            record = self.registry.record(model_id)
+            model = self.registry.get(model_id)
+        except KeyError as exc:
+            raise NotFoundError(_key_error_message(exc)) from exc
+        if n is None:
+            n = model.n_records
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ValidationError(f"n must be a positive integer, got {n!r}")
+        if n > MAX_SAMPLE_N:
+            raise ValidationError(
+                f"n={n} exceeds the per-request limit of {MAX_SAMPLE_N}; "
+                "page your sampling across requests"
+            )
+        if seed is not None and not isinstance(seed, int):
+            raise ValidationError("seed must be an integer or null")
+        rng = as_generator(seed)
+        synthetic = model.sample(n, rng=rng)
+        result = dataset_to_rows(synthetic)
+        result.update(
+            {
+                "model_id": model_id,
+                "dataset_id": record.dataset_id,
+                "epsilon": record.epsilon,
+                "seed": seed,
+                "privacy_cost": 0.0,
+            }
+        )
+        return result
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the fit worker (pending queued jobs are abandoned)."""
+        self.worker.close()

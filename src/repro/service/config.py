@@ -1,0 +1,107 @@
+"""Configuration and on-disk layout of the synthesis service.
+
+Everything the service persists lives under one data directory::
+
+    <data_dir>/
+        datasets/<id>.csv      uploaded integer-coded datasets
+        datasets/<id>.json     dataset metadata sidecars
+        models/<id>.npz        released DPCopula models (versioned NPZ)
+        models/<id>.json       model metadata sidecars
+        ledger.jsonl           append-only privacy-spend journal
+
+The layout is deliberately plain files: a data curator can audit the
+ledger with ``cat``, copy a model NPZ out for offline use, or back the
+whole directory up with ``rsync``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+#: Identifiers for datasets and models: filesystem- and URL-safe.
+IDENTIFIER_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Default per-dataset privacy cap for :class:`PrivacyAccountant`.
+DEFAULT_EPSILON_CAP = 10.0
+
+
+def check_identifier(kind: str, value: str) -> str:
+    """Validate a dataset/model identifier; raise ``ValueError`` if unsafe."""
+    if not isinstance(value, str) or not IDENTIFIER_PATTERN.match(value):
+        raise ValueError(
+            f"{kind} id {value!r} is invalid: use 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return value
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    Readers never observe a half-written file: they see either the old
+    content or the new content.  The tmp file is created in the target
+    directory so the final rename stays on one filesystem.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Settings for a :class:`~repro.service.app.SynthesisService`.
+
+    Parameters
+    ----------
+    data_dir:
+        Root directory for datasets, models and the privacy ledger.
+        Created (with parents) if missing.
+    epsilon_cap:
+        Per-dataset lifetime privacy cap enforced by the accountant.
+        Fits whose ``ε`` would push a dataset's cumulative spend past
+        this cap are refused.
+    """
+
+    data_dir: PathLike
+    epsilon_cap: float = DEFAULT_EPSILON_CAP
+
+    @property
+    def root(self) -> Path:
+        return Path(self.data_dir)
+
+    @property
+    def datasets_dir(self) -> Path:
+        return self.root / "datasets"
+
+    @property
+    def models_dir(self) -> Path:
+        return self.root / "models"
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.root / "ledger.jsonl"
+
+    def ensure_layout(self) -> None:
+        """Create the data directory tree if it does not exist."""
+        self.datasets_dir.mkdir(parents=True, exist_ok=True)
+        self.models_dir.mkdir(parents=True, exist_ok=True)

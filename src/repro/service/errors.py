@@ -1,0 +1,39 @@
+"""Service-level errors with HTTP status semantics."""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """An operation failure the HTTP layer maps to a status code.
+
+    Raised by :class:`~repro.service.app.SynthesisService` operations so
+    the transport layer can translate failures uniformly; non-HTTP
+    callers (tests, embedding applications) get an exception whose
+    ``status`` documents the failure class.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+class NotFoundError(ServiceError):
+    """A dataset, model or job id that does not exist (404)."""
+
+    def __init__(self, message: str):
+        super().__init__(404, message)
+
+
+class ValidationError(ServiceError):
+    """A malformed or unsupported request (400)."""
+
+    def __init__(self, message: str):
+        super().__init__(400, message)
+
+
+class BudgetRefusedError(ServiceError):
+    """A fit refused because it would exceed the dataset's ε cap (409)."""
+
+    def __init__(self, message: str):
+        super().__init__(409, message)

@@ -1,0 +1,208 @@
+"""Stdlib-only JSON HTTP API over :class:`SynthesisService`.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no web framework,
+no new dependencies.  One thread per request is exactly right here:
+sampling requests are CPU-light NumPy calls that release the GIL in the
+hot loops, and the heavy work (fitting) never runs in a request thread
+at all (it goes through the background :class:`FitWorker`).
+
+Endpoints
+---------
+========  ==============================  ==========================================
+Method    Path                            Meaning
+========  ==============================  ==========================================
+GET       /health                         liveness + library version
+GET       /datasets                       list uploaded dataset summaries
+POST      /datasets                       upload ``{"dataset_id", "csv"}``
+GET       /datasets/<id>                  inspect (shared with ``inspect --json``)
+GET       /datasets/<id>/budget           the accountant's view of the dataset
+GET       /fits                           list fit jobs
+POST      /fits                           submit ``{"dataset_id", "method", ...}``
+GET       /fits/<id>                      poll job status
+GET       /models                         list registered model records
+GET       /models/<id>                    one model record
+POST      /models/<id>/sample             draw records: ``{"n", "seed"}``
+==========================================================================
+
+All request and response bodies are JSON (UTF-8).  Errors are
+``{"error": "<message>"}`` with a meaningful status code: 400 malformed,
+404 unknown id, 409 privacy budget refused, 405 wrong method.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.dp.budget import BudgetExhaustedError
+from repro.service.app import SynthesisService
+from repro.service.errors import ServiceError
+
+__all__ = ["build_server", "SynthesisRequestHandler"]
+
+#: Uploads above this size are refused outright (64 MiB of CSV text).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_ID = r"(?P<id>[A-Za-z0-9._-]+)"
+_ROUTES = [
+    ("GET", re.compile(r"^/health$"), "health"),
+    ("GET", re.compile(r"^/datasets$"), "list_datasets"),
+    ("POST", re.compile(r"^/datasets$"), "upload_dataset"),
+    ("GET", re.compile(rf"^/datasets/{_ID}$"), "inspect_dataset"),
+    ("GET", re.compile(rf"^/datasets/{_ID}/budget$"), "dataset_budget"),
+    ("GET", re.compile(r"^/fits$"), "list_fits"),
+    ("POST", re.compile(r"^/fits$"), "submit_fit"),
+    ("GET", re.compile(rf"^/fits/{_ID}$"), "fit_status"),
+    ("GET", re.compile(r"^/models$"), "list_models"),
+    ("GET", re.compile(rf"^/models/{_ID}$"), "model_info"),
+    ("POST", re.compile(rf"^/models/{_ID}/sample$"), "sample_model"),
+]
+
+
+class SynthesisRequestHandler(BaseHTTPRequestHandler):
+    """Routes JSON requests to the attached :class:`SynthesisService`."""
+
+    server_version = "dpcopula-synthesis"
+    protocol_version = "HTTP/1.1"
+
+    # Set by build_server on the handler subclass.
+    service: SynthesisService = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, f"request body is not valid JSON: {exc}")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        matched_path = False
+        for route_method, pattern, name in _ROUTES:
+            match = pattern.match(path)
+            if not match:
+                continue
+            matched_path = True
+            if route_method != method:
+                continue
+            handler = getattr(self, f"_handle_{name}")
+            try:
+                status, payload = handler(match.groupdict().get("id"))
+            except ServiceError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except BudgetExhaustedError as exc:
+                status, payload = 409, {"error": str(exc)}
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._send_json(status, payload)
+            return
+        if matched_path:
+            self._send_json(405, {"error": f"method {method} not allowed on {path}"})
+        else:
+            self._send_json(404, {"error": f"no route for {method} {path}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # -- handlers ---------------------------------------------------------
+
+    def _handle_health(self, _: Optional[str]) -> Tuple[int, Any]:
+        from repro import __version__
+
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "epsilon_cap": self.service.config.epsilon_cap,
+        }
+
+    def _handle_list_datasets(self, _: Optional[str]) -> Tuple[int, Any]:
+        return 200, {"datasets": self.service.list_datasets()}
+
+    def _handle_upload_dataset(self, _: Optional[str]) -> Tuple[int, Any]:
+        body = self._read_json_body()
+        if not isinstance(body, dict):
+            raise ServiceError(400, "upload body must be a JSON object")
+        dataset_id = body.get("dataset_id")
+        csv_text = body.get("csv")
+        if not isinstance(dataset_id, str) or not isinstance(csv_text, str):
+            raise ServiceError(
+                400, 'upload requires string fields "dataset_id" and "csv"'
+            )
+        return 201, self.service.upload_dataset(dataset_id, csv_text)
+
+    def _handle_inspect_dataset(self, dataset_id: str) -> Tuple[int, Any]:
+        return 200, self.service.inspect_dataset(dataset_id)
+
+    def _handle_dataset_budget(self, dataset_id: str) -> Tuple[int, Any]:
+        return 200, self.service.budget_summary(dataset_id)
+
+    def _handle_list_fits(self, _: Optional[str]) -> Tuple[int, Any]:
+        return 200, {"jobs": self.service.list_jobs()}
+
+    def _handle_submit_fit(self, _: Optional[str]) -> Tuple[int, Any]:
+        return 202, self.service.submit_fit(self._read_json_body())
+
+    def _handle_fit_status(self, job_id: str) -> Tuple[int, Any]:
+        return 200, self.service.job_status(job_id)
+
+    def _handle_list_models(self, _: Optional[str]) -> Tuple[int, Any]:
+        return 200, {"models": self.service.list_models()}
+
+    def _handle_model_info(self, model_id: str) -> Tuple[int, Any]:
+        return 200, self.service.model_info(model_id)
+
+    def _handle_sample_model(self, model_id: str) -> Tuple[int, Any]:
+        body = self._read_json_body()
+        if not isinstance(body, dict):
+            raise ServiceError(400, "sample body must be a JSON object")
+        return 200, self.service.sample(
+            model_id, n=body.get("n"), seed=body.get("seed")
+        )
+
+
+def build_server(
+    service: SynthesisService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """A ready-to-run threaded HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (useful for tests); read the
+    actual port from ``server.server_address[1]``.  The caller owns the
+    lifecycle: ``serve_forever()`` to run, then ``shutdown()`` /
+    ``server_close()`` and ``service.close()`` to stop.
+    """
+    handler = type(
+        "BoundSynthesisRequestHandler",
+        (SynthesisRequestHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,150 @@
+"""Background fit jobs.
+
+Fitting a DPCopula model is seconds-to-minutes of work (Kendall matrix
+estimation is the hot path) while sampling a registered model is
+milliseconds.  Running fits inline in HTTP handler threads would let a
+single fit monopolize the request pool, so fits go through a dedicated
+worker: ``POST /fits`` enqueues and returns immediately with a job id,
+and clients poll ``GET /fits/<id>`` until the job reports ``done`` (with
+the registered model id) or ``failed`` (with the error).
+
+Jobs are processed strictly one at a time.  That is a privacy feature
+as much as a throughput choice: the accountant charge and the fit happen
+in submission order, so budget refusals are deterministic.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["FitJob", "FitWorker", "JobStatus"]
+
+
+class JobStatus:
+    """Lifecycle states of a fit job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class FitJob:
+    """One queued model-fitting request and its evolving status."""
+
+    job_id: str
+    dataset_id: str
+    method: str
+    epsilon: float
+    k: float
+    seed: Optional[int] = None
+    status: str = JobStatus.QUEUED
+    model_id: Optional[str] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "dataset_id": self.dataset_id,
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "k": self.k,
+            "seed": self.seed,
+            "status": self.status,
+            "model_id": self.model_id,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class FitWorker:
+    """A single daemon thread draining a FIFO queue of fit jobs.
+
+    Parameters
+    ----------
+    runner:
+        Called with each job once it reaches the front of the queue;
+        returns the registered model id.  Exceptions mark the job
+        ``failed`` with the exception message and never kill the worker.
+    """
+
+    _STOP = object()
+
+    def __init__(self, runner: Callable[[FitJob], str]):
+        self._runner = runner
+        self._queue: "queue.Queue" = queue.Queue()
+        self._jobs: Dict[str, FitJob] = {}
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._drain, name="dpcopula-fit-worker", daemon=True
+        )
+        self._thread.start()
+
+    @staticmethod
+    def new_job_id() -> str:
+        return uuid.uuid4().hex[:12]
+
+    def submit(self, job: FitJob) -> FitJob:
+        """Enqueue ``job`` and return it (status ``queued``)."""
+        with self._lock:
+            if job.job_id in self._jobs:
+                raise ValueError(f"job id {job.job_id!r} already submitted")
+            self._jobs[job.job_id] = job
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> FitJob:
+        with self._lock:
+            if job_id not in self._jobs:
+                raise KeyError(f"no fit job with id {job_id!r}")
+            return self._jobs[job_id]
+
+    def list(self) -> List[FitJob]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        jobs.sort(key=lambda j: j.submitted_at, reverse=True)
+        return jobs
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.02) -> FitJob:
+        """Block until ``job_id`` finishes (test/CLI convenience)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            job = self.get(job_id)
+            if job.status in (JobStatus.DONE, JobStatus.FAILED):
+                return job
+            time.sleep(poll)
+        raise TimeoutError(f"fit job {job_id!r} did not finish in {timeout}s")
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker after the current job (idempotent)."""
+        self._queue.put(self._STOP)
+        self._thread.join(timeout)
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                return
+            job: FitJob = item
+            job.status = JobStatus.RUNNING
+            job.started_at = time.time()
+            try:
+                job.model_id = self._runner(job)
+            except Exception as exc:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = JobStatus.FAILED
+            else:
+                job.status = JobStatus.DONE
+            finally:
+                job.finished_at = time.time()

@@ -1,0 +1,167 @@
+"""Durable registry of released DPCopula models.
+
+A fitted model is the *expensive* artifact: producing it consumed
+privacy budget that can never be recovered.  Sampling from it is free
+post-processing.  The registry therefore persists every released model
+the moment a fit finishes — NPZ payload plus a JSON metadata sidecar —
+and serves it forever, across process restarts, without refitting.
+
+Listing reads only the lightweight sidecars; the NPZ payload is loaded
+lazily on first sample and cached, so a registry with thousands of
+models starts instantly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.io import MODEL_FORMAT_VERSION, ReleasedModel
+from repro.service.config import PathLike, atomic_write_bytes, check_identifier
+
+__all__ = ["ModelRecord", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Metadata sidecar for one registered model."""
+
+    model_id: str
+    dataset_id: str
+    method: str
+    epsilon: float
+    n_records: int
+    schema: List[List[Any]]
+    created_at: float
+    format_version: int = MODEL_FORMAT_VERSION
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model_id": self.model_id,
+            "dataset_id": self.dataset_id,
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "n_records": self.n_records,
+            "schema": self.schema,
+            "created_at": self.created_at,
+            "format_version": self.format_version,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModelRecord":
+        return cls(
+            model_id=str(payload["model_id"]),
+            dataset_id=str(payload["dataset_id"]),
+            method=str(payload["method"]),
+            epsilon=float(payload["epsilon"]),
+            n_records=int(payload["n_records"]),
+            schema=[list(pair) for pair in payload["schema"]],
+            created_at=float(payload["created_at"]),
+            format_version=int(payload.get("format_version", 1)),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+class ModelRegistry:
+    """Filesystem-backed store of :class:`~repro.io.ReleasedModel`s.
+
+    Layout: ``<directory>/<model_id>.npz`` (the released state, written
+    atomically) next to ``<directory>/<model_id>.json`` (the sidecar).
+    The sidecar is written *after* the NPZ, so a sidecar's existence
+    implies a complete payload; orphaned NPZs from a crash mid-``put``
+    are invisible and harmless.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._cache: Dict[str, ReleasedModel] = {}
+
+    def _npz_path(self, model_id: str) -> Path:
+        return self.directory / f"{model_id}.npz"
+
+    def _sidecar_path(self, model_id: str) -> Path:
+        return self.directory / f"{model_id}.json"
+
+    @staticmethod
+    def new_model_id() -> str:
+        return uuid.uuid4().hex[:12]
+
+    def put(
+        self,
+        model: ReleasedModel,
+        dataset_id: str,
+        method: str,
+        model_id: Optional[str] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> ModelRecord:
+        """Persist ``model`` and return its registry record."""
+        model_id = check_identifier(
+            "model", model_id if model_id is not None else self.new_model_id()
+        )
+        record = ModelRecord(
+            model_id=model_id,
+            dataset_id=dataset_id,
+            method=method,
+            epsilon=model.epsilon,
+            n_records=model.n_records,
+            schema=[[a.name, a.domain_size] for a in model.schema],
+            created_at=time.time(),
+            extra=dict(extra or {}),
+        )
+        with self._lock:
+            if self._sidecar_path(model_id).exists():
+                raise ValueError(f"model id {model_id!r} already registered")
+            # NPZ first, sidecar last: the sidecar commits the model.
+            buffer = io.BytesIO()
+            model.save(buffer)
+            atomic_write_bytes(self._npz_path(model_id), buffer.getvalue())
+            atomic_write_bytes(
+                self._sidecar_path(model_id),
+                (json.dumps(record.to_dict(), sort_keys=True, indent=2) + "\n").encode(),
+            )
+            self._cache[model_id] = model
+        return record
+
+    def record(self, model_id: str) -> ModelRecord:
+        """The metadata sidecar for ``model_id`` (no NPZ load)."""
+        sidecar = self._sidecar_path(model_id)
+        if not sidecar.exists():
+            raise KeyError(f"no model registered under id {model_id!r}")
+        return ModelRecord.from_dict(json.loads(sidecar.read_text()))
+
+    def get(self, model_id: str) -> ReleasedModel:
+        """The released model itself, lazily loaded and cached."""
+        with self._lock:
+            cached = self._cache.get(model_id)
+            if cached is not None:
+                return cached
+        if not self._sidecar_path(model_id).exists():
+            raise KeyError(f"no model registered under id {model_id!r}")
+        model = ReleasedModel.load(self._npz_path(model_id))
+        with self._lock:
+            return self._cache.setdefault(model_id, model)
+
+    def list(self) -> List[ModelRecord]:
+        """All registered models, newest first, from sidecars only."""
+        records = [
+            ModelRecord.from_dict(json.loads(sidecar.read_text()))
+            for sidecar in sorted(self.directory.glob("*.json"))
+        ]
+        records.sort(key=lambda r: r.created_at, reverse=True)
+        return records
+
+    def __contains__(self, model_id: str) -> bool:
+        return self._sidecar_path(model_id).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

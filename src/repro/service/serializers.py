@@ -1,0 +1,57 @@
+"""JSON-ready views of datasets and models.
+
+One serializer per concept, shared by every surface that talks about it:
+``dpcopula inspect --json`` and the service's ``GET /datasets/<id>``
+return the same :func:`dataset_summary` document, so scripts written
+against one work against the other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.data.dataset import Dataset, Schema
+
+
+def schema_spec(schema: Schema) -> list:
+    """Schema as a JSON-ready ``[[name, domain_size], ...]`` list."""
+    return [[a.name, a.domain_size] for a in schema]
+
+
+def dataset_summary(dataset: Dataset, name: Optional[str] = None) -> Dict[str, Any]:
+    """The machine-readable counterpart of ``dpcopula inspect``.
+
+    Mirrors the human-readable output field for field: schema with
+    per-attribute domain classification, the total domain space, and
+    whether the hybrid method is recommended (any small-domain
+    attribute present).
+    """
+    schema = dataset.schema
+    small = set(schema.small_domain_indices())
+    summary: Dict[str, Any] = {
+        "n_records": dataset.n_records,
+        "dimensions": schema.dimensions,
+        "domain_space": schema.domain_space(),
+        "attributes": [
+            {
+                "name": attribute.name,
+                "domain_size": attribute.domain_size,
+                "kind": "small-domain" if j in small else "large-domain",
+            }
+            for j, attribute in enumerate(schema)
+        ],
+        "small_domain_attributes": [schema[j].name for j in sorted(small)],
+        "hybrid_recommended": bool(small),
+    }
+    if name is not None:
+        summary["dataset_id"] = name
+    return summary
+
+
+def dataset_to_rows(dataset: Dataset) -> Dict[str, Any]:
+    """A dataset's records as a JSON-ready columns-plus-rows document."""
+    return {
+        "columns": dataset.schema.names,
+        "records": dataset.values.tolist(),
+        "n_records": dataset.n_records,
+    }

@@ -1,0 +1,100 @@
+"""Tests for the durable cross-restart privacy accountant."""
+
+import json
+
+import pytest
+
+from repro.dp.budget import BudgetExhaustedError
+from repro.service.accountant import PrivacyAccountant
+
+
+@pytest.fixture
+def ledger_path(tmp_path):
+    return tmp_path / "ledger.jsonl"
+
+
+class TestCharging:
+    def test_charges_accumulate(self, ledger_path):
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        accountant.charge("adult", 0.5, label="fit:kendall:j1")
+        accountant.charge("adult", 0.75, label="fit:mle:j2")
+        assert accountant.spent("adult") == pytest.approx(1.25)
+        assert accountant.remaining("adult") == pytest.approx(0.75)
+
+    def test_datasets_are_isolated(self, ledger_path):
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=1.0)
+        accountant.charge("a", 1.0)
+        assert accountant.remaining("a") == pytest.approx(0.0)
+        assert accountant.remaining("b") == pytest.approx(1.0)
+        accountant.charge("b", 0.5)
+
+    def test_overdraw_rejected_and_not_journaled(self, ledger_path):
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        accountant.charge("adult", 1.5)
+        with pytest.raises(BudgetExhaustedError):
+            accountant.charge("adult", 1.0)
+        # The refused charge must leave no trace in memory or on disk.
+        assert accountant.spent("adult") == pytest.approx(1.5)
+        lines = ledger_path.read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_rejects_nonpositive_epsilon(self, ledger_path):
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=1.0)
+        with pytest.raises(ValueError):
+            accountant.charge("adult", 0.0)
+        with pytest.raises(ValueError):
+            accountant.charge("adult", -0.5)
+
+
+class TestRestartSurvival:
+    def test_two_fits_exceeding_cap_across_restart(self, ledger_path):
+        """The ISSUE's satellite scenario: cap enforced over the ledger file."""
+        first = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        first.charge("adult", 1.5, label="fit:kendall:j1")
+
+        # Simulated restart: a brand-new accountant over the same ledger.
+        rebooted = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert rebooted.spent("adult") == pytest.approx(1.5)
+        with pytest.raises(BudgetExhaustedError):
+            rebooted.charge("adult", 1.0, label="fit:kendall:j2")
+        rebooted.charge("adult", 0.5, label="fit:kendall:j3")
+        assert rebooted.remaining("adult") == pytest.approx(0.0)
+
+    def test_entries_round_trip(self, ledger_path):
+        first = PrivacyAccountant(ledger_path, epsilon_cap=5.0)
+        first.charge("a", 1.0, label="fit:kendall:j1")
+        first.charge("b", 2.0, label="fit:mle:j2")
+        rebooted = PrivacyAccountant(ledger_path, epsilon_cap=5.0)
+        entries = rebooted.entries()
+        assert [(e["dataset"], e["epsilon"]) for e in entries] == [
+            ("a", 1.0),
+            ("b", 2.0),
+        ]
+        assert rebooted.entries("a")[0]["label"] == "fit:kendall:j1"
+
+    def test_lowered_cap_blocks_everything(self, ledger_path):
+        generous = PrivacyAccountant(ledger_path, epsilon_cap=10.0)
+        generous.charge("adult", 4.0)
+        # An operator tightening the cap below the historic spend must
+        # not crash the service — it just refuses all further fits.
+        strict = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert strict.spent("adult") == pytest.approx(4.0)
+        assert strict.remaining("adult") == 0.0
+        with pytest.raises(BudgetExhaustedError):
+            strict.charge("adult", 0.1)
+
+    def test_corrupt_ledger_refuses_to_start(self, ledger_path):
+        ledger_path.write_text('{"dataset": "a", "epsilon": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match="corrupt at line 2"):
+            PrivacyAccountant(ledger_path, epsilon_cap=1.0)
+
+    def test_summary_shape(self, ledger_path):
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=3.0)
+        accountant.charge("adult", 1.0, label="fit:kendall:j1")
+        summary = accountant.summary("adult")
+        assert summary["epsilon_cap"] == 3.0
+        assert summary["epsilon_spent"] == pytest.approx(1.0)
+        assert summary["epsilon_remaining"] == pytest.approx(2.0)
+        assert summary["charges"][0]["label"] == "fit:kendall:j1"
+        # The summary must be JSON-serializable as-is (it feeds the API).
+        json.dumps(summary)

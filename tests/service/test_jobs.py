@@ -1,0 +1,120 @@
+"""Tests for the background fit worker and the service core."""
+
+import threading
+
+import pytest
+
+from repro.service import SynthesisService, ServiceConfig
+from repro.service.errors import BudgetRefusedError, NotFoundError, ValidationError
+from repro.service.jobs import FitJob, FitWorker, JobStatus
+
+
+class TestFitWorker:
+    def test_runs_jobs_in_order(self):
+        finished = []
+        worker = FitWorker(lambda job: finished.append(job.job_id) or job.job_id)
+        for i in range(3):
+            worker.submit(FitJob(job_id=f"j{i}", dataset_id="d", method="kendall",
+                                 epsilon=1.0, k=8.0))
+        last = worker.wait("j2", timeout=5.0)
+        assert last.status == JobStatus.DONE
+        assert finished == ["j0", "j1", "j2"]
+        worker.close()
+
+    def test_failure_recorded_and_worker_survives(self):
+        def runner(job):
+            if job.job_id == "bad":
+                raise RuntimeError("boom")
+            return "model-ok"
+
+        worker = FitWorker(runner)
+        worker.submit(FitJob(job_id="bad", dataset_id="d", method="kendall",
+                             epsilon=1.0, k=8.0))
+        worker.submit(FitJob(job_id="good", dataset_id="d", method="kendall",
+                             epsilon=1.0, k=8.0))
+        bad = worker.wait("bad", timeout=5.0)
+        good = worker.wait("good", timeout=5.0)
+        assert bad.status == JobStatus.FAILED
+        assert "boom" in bad.error
+        assert good.status == JobStatus.DONE
+        assert good.model_id == "model-ok"
+        worker.close()
+
+    def test_unknown_job_raises(self):
+        worker = FitWorker(lambda job: "m")
+        with pytest.raises(KeyError):
+            worker.get("missing")
+        worker.close()
+
+    def test_duplicate_id_rejected(self):
+        block = threading.Event()
+        worker = FitWorker(lambda job: block.wait(5) or "m")
+        job = FitJob(job_id="j", dataset_id="d", method="kendall", epsilon=1.0, k=8.0)
+        worker.submit(job)
+        with pytest.raises(ValueError, match="already submitted"):
+            worker.submit(job)
+        block.set()
+        worker.close()
+
+
+class TestServiceCore:
+    """Service-level validation without going through HTTP."""
+
+    def test_upload_and_inspect(self, service, csv_text):
+        summary = service.upload_dataset("demo", csv_text)
+        assert summary["dataset_id"] == "demo"
+        assert summary["n_records"] == 300
+        inspected = service.inspect_dataset("demo")
+        assert inspected["attributes"][0]["name"] == "a"
+        assert inspected["budget"]["epsilon_spent"] == 0.0
+
+    def test_upload_rejects_bad_csv(self, service):
+        with pytest.raises(ValidationError):
+            service.upload_dataset("bad", "x,y\n1,2\n")
+        with pytest.raises(ValidationError):
+            service.upload_dataset("empty", "   ")
+
+    def test_upload_rejects_duplicate_id(self, service, csv_text):
+        service.upload_dataset("demo", csv_text)
+        with pytest.raises(ValidationError, match="already exists"):
+            service.upload_dataset("demo", csv_text)
+
+    def test_fit_unknown_dataset(self, service):
+        with pytest.raises(NotFoundError):
+            service.submit_fit({"dataset_id": "missing", "epsilon": 1.0})
+
+    def test_fit_rejects_hybrid(self, service, csv_text):
+        service.upload_dataset("demo", csv_text)
+        with pytest.raises(ValidationError, match="hybrid"):
+            service.submit_fit({"dataset_id": "demo", "method": "hybrid"})
+
+    def test_fit_rejects_bad_epsilon(self, service, csv_text):
+        service.upload_dataset("demo", csv_text)
+        with pytest.raises(ValidationError):
+            service.submit_fit({"dataset_id": "demo", "epsilon": -1.0})
+
+    def test_fit_over_cap_fast_fails(self, service, csv_text):
+        service.upload_dataset("demo", csv_text)
+        with pytest.raises(BudgetRefusedError):
+            service.submit_fit({"dataset_id": "demo", "epsilon": 99.0})
+
+    def test_fit_to_sample_pipeline(self, service, csv_text):
+        service.upload_dataset("demo", csv_text)
+        job = service.submit_fit(
+            {"dataset_id": "demo", "method": "kendall", "epsilon": 1.0, "seed": 0}
+        )
+        done = service.worker.wait(job["job_id"], timeout=60.0)
+        assert done.status == JobStatus.DONE
+        result = service.sample(done.model_id, n=25, seed=1)
+        assert result["n_records"] == 25
+        assert result["privacy_cost"] == 0.0
+        assert service.accountant.spent("demo") == pytest.approx(1.0)
+
+    def test_sample_validation(self, service, released_model):
+        record = service.registry.put(released_model, dataset_id="d", method="kendall")
+        with pytest.raises(NotFoundError):
+            service.sample("missing", n=10)
+        with pytest.raises(ValidationError):
+            service.sample(record.model_id, n=0)
+        with pytest.raises(ValidationError):
+            service.sample(record.model_id, n=10, seed="not-an-int")

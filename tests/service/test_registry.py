@@ -1,0 +1,92 @@
+"""Tests for the persistent model registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import MODEL_FORMAT_VERSION
+from repro.service.registry import ModelRecord, ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "models")
+
+
+class TestPutGet:
+    def test_roundtrip(self, registry, released_model):
+        record = registry.put(released_model, dataset_id="d1", method="kendall")
+        loaded = registry.get(record.model_id)
+        assert loaded.schema == released_model.schema
+        assert loaded.n_records == released_model.n_records
+        np.testing.assert_allclose(loaded.correlation, released_model.correlation)
+
+    def test_record_metadata(self, registry, released_model):
+        record = registry.put(
+            released_model, dataset_id="d1", method="kendall", extra={"k": 8.0}
+        )
+        fetched = registry.record(record.model_id)
+        assert fetched.dataset_id == "d1"
+        assert fetched.method == "kendall"
+        assert fetched.epsilon == released_model.epsilon
+        assert fetched.format_version == MODEL_FORMAT_VERSION
+        assert fetched.extra["k"] == 8.0
+
+    def test_sidecar_and_npz_on_disk(self, registry, released_model, tmp_path):
+        record = registry.put(released_model, dataset_id="d1", method="kendall")
+        assert (tmp_path / "models" / f"{record.model_id}.npz").exists()
+        sidecar = tmp_path / "models" / f"{record.model_id}.json"
+        assert json.loads(sidecar.read_text())["model_id"] == record.model_id
+
+    def test_duplicate_id_rejected(self, registry, released_model):
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.put(
+                released_model, dataset_id="d", method="kendall", model_id="m1"
+            )
+
+    def test_invalid_id_rejected(self, registry, released_model):
+        with pytest.raises(ValueError, match="invalid"):
+            registry.put(
+                released_model, dataset_id="d", method="kendall", model_id="../evil"
+            )
+
+    def test_unknown_id_raises_keyerror(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("nope")
+        with pytest.raises(KeyError):
+            registry.record("nope")
+
+
+class TestPersistence:
+    def test_survives_restart_without_refit(self, tmp_path, released_model):
+        first = ModelRegistry(tmp_path / "models")
+        record = first.put(released_model, dataset_id="d1", method="kendall")
+
+        rebooted = ModelRegistry(tmp_path / "models")
+        assert record.model_id in rebooted
+        loaded = rebooted.get(record.model_id)
+        np.testing.assert_allclose(loaded.correlation, released_model.correlation)
+        sampled = loaded.sample(50, rng=3)
+        assert sampled.n_records == 50
+
+    def test_list_reads_sidecars_only(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.put(released_model, dataset_id="d1", method="kendall", model_id="m1")
+        registry.put(released_model, dataset_id="d2", method="mle", model_id="m2")
+        # Corrupt the NPZ payloads: listing must still work (lazy load).
+        for npz in (tmp_path / "models").glob("*.npz"):
+            npz.write_bytes(b"not an npz")
+        fresh = ModelRegistry(tmp_path / "models")
+        listed = fresh.list()
+        assert {r.model_id for r in listed} == {"m1", "m2"}
+        assert all(isinstance(r, ModelRecord) for r in listed)
+
+    def test_orphaned_npz_invisible(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models")
+        # Simulate a crash between the NPZ write and the sidecar write.
+        (tmp_path / "models" / "orphan.npz").write_bytes(b"partial")
+        assert "orphan" not in registry
+        assert len(registry) == 0
+        assert registry.list() == []

@@ -37,6 +37,16 @@ class TestParser:
                 ["synthesize", "in.csv", "out.csv", "--method", "bayes"]
             )
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--data-dir", "svc"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8639
+        assert args.epsilon_cap == 10.0
+
+    def test_serve_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestSynthesize:
     def test_end_to_end(self, csv_dataset, tmp_path, capsys):
@@ -135,6 +145,31 @@ class TestSynthesize:
 
 
 class TestHybridViaCLI:
+    def test_hybrid_save_model_is_an_error(
+        self, tmp_path, mixed_schema_dataset, capsys
+    ):
+        """--save-model with --method hybrid must fail fast, not warn."""
+        input_path = tmp_path / "mixed.csv"
+        save_dataset_csv(mixed_schema_dataset, input_path)
+        output_path = tmp_path / "synthetic.csv"
+        model_path = tmp_path / "model.npz"
+        code = main(
+            [
+                "synthesize",
+                str(input_path),
+                str(output_path),
+                "--method",
+                "hybrid",
+                "--save-model",
+                str(model_path),
+            ]
+        )
+        assert code != 0
+        assert "unsupported for the hybrid method" in capsys.readouterr().err
+        # Failing fast: no synthetic output, no model file.
+        assert not model_path.exists()
+        assert not output_path.exists()
+
     def test_hybrid_on_mixed_schema(self, tmp_path, mixed_schema_dataset):
         input_path = tmp_path / "mixed.csv"
         save_dataset_csv(mixed_schema_dataset, input_path)
@@ -171,3 +206,27 @@ class TestInspect:
         main(["inspect", str(input_path)])
         out = capsys.readouterr().out
         assert "small-domain attributes present" in out
+
+    def test_json_output(self, csv_dataset, capsys):
+        import json
+
+        input_path, original = csv_dataset
+        assert main(["inspect", str(input_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_records"] == original.n_records
+        assert summary["attributes"] == [
+            {"name": "a", "domain_size": 60, "kind": "large-domain"},
+            {"name": "b", "domain_size": 80, "kind": "large-domain"},
+        ]
+        assert summary["hybrid_recommended"] is False
+
+    def test_json_matches_service_serializer(self, csv_dataset, capsys):
+        """The CLI and the service share one inspect document."""
+        import json
+
+        from repro.service.serializers import dataset_summary
+
+        input_path, original = csv_dataset
+        main(["inspect", str(input_path), "--json"])
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == dataset_summary(original)

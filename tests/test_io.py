@@ -114,3 +114,64 @@ class TestReleasedModel:
                 n_records=10,
                 epsilon=1.0,
             )
+
+
+class TestModelFormatVersion:
+    @staticmethod
+    def _model(schema_2d):
+        return ReleasedModel(
+            margin_counts=[np.ones(50), np.ones(40)],
+            correlation=np.eye(2),
+            schema=schema_2d,
+            n_records=10,
+            epsilon=1.0,
+        )
+
+    def test_save_embeds_current_version(self, schema_2d, tmp_path):
+        import json
+
+        from repro.io import MODEL_FORMAT_VERSION
+
+        path = tmp_path / "model.npz"
+        self._model(schema_2d).save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+        assert meta["format_version"] == MODEL_FORMAT_VERSION
+
+    def test_legacy_unversioned_file_still_loads(self, schema_2d, tmp_path):
+        import json
+
+        path = tmp_path / "legacy.npz"
+        self._model(schema_2d).save(path)
+        # Rewrite the meta without a version, as pre-versioning builds did.
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+            meta = json.loads(str(archive["meta"]))
+        del meta["format_version"]
+        payload["meta"] = np.array(json.dumps(meta))
+        np.savez_compressed(path, **payload)
+        loaded = ReleasedModel.load(path)
+        assert loaded.n_records == 10
+
+    def test_unknown_version_is_a_clear_error(self, schema_2d, tmp_path):
+        import json
+
+        path = tmp_path / "future.npz"
+        self._model(schema_2d).save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+            meta = json.loads(str(archive["meta"]))
+        meta["format_version"] = 99
+        payload["meta"] = np.array(json.dumps(meta))
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="format version 99"):
+            ReleasedModel.load(path)
+
+    def test_save_accepts_file_object(self, schema_2d):
+        import io as stdlib_io
+
+        buffer = stdlib_io.BytesIO()
+        self._model(schema_2d).save(buffer)
+        buffer.seek(0)
+        loaded = ReleasedModel.load(buffer)
+        assert loaded.schema == schema_2d

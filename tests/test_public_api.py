@@ -55,6 +55,16 @@ PUBLIC_MODULES = [
     "repro.queries.evaluation",
     "repro.queries.metrics",
     "repro.queries.range_query",
+    "repro.service",
+    "repro.service.accountant",
+    "repro.service.app",
+    "repro.service.config",
+    "repro.service.datasets",
+    "repro.service.errors",
+    "repro.service.http",
+    "repro.service.jobs",
+    "repro.service.registry",
+    "repro.service.serializers",
     "repro.stats",
     "repro.stats.copula_math",
     "repro.stats.correlation",

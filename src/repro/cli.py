@@ -73,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synthesize.add_argument("--seed", type=int, default=None, help="RNG seed")
     synthesize.add_argument(
+        "--parallel-backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend for the fit's hot loops (default: "
+        "DPCOPULA_PARALLEL env var, else serial); results are identical "
+        "on every backend for a fixed --seed",
+    )
+    synthesize.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        help="worker budget for --parallel-backend (default: available CPUs)",
+    )
+    synthesize.add_argument(
         "--save-model",
         metavar="PATH",
         default=None,
@@ -119,9 +133,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 10.0)",
     )
     serve.add_argument(
+        "--fit-workers",
+        type=int,
+        default=1,
+        help="background fit-worker pool size (default 1: strictly "
+        "serial, submission-ordered fitting)",
+    )
+    serve.add_argument(
+        "--parallel-backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="execution backend each fit uses for its hot loops "
+        "(default serial)",
+    )
+    serve.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        help="worker budget for --parallel-backend (default: available CPUs)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
+
+
+def _parallel_context(args):
+    """Build the ExecutionContext the synthesize command was asked for."""
+    from repro.parallel import ExecutionContext, resolve_context
+
+    if args.parallel_backend is None:
+        return resolve_context(None)
+    return ExecutionContext(
+        backend=args.parallel_backend, max_workers=args.parallel_workers
+    )
 
 
 def _synthesize(args) -> int:
@@ -135,9 +180,10 @@ def _synthesize(args) -> int:
         return 2
     data = load_dataset_csv(args.input)
     print(f"loaded {data}")
+    context = _parallel_context(args)
     if args.method == "hybrid":
         synthesizer = DPCopulaHybrid(
-            args.epsilon, k=args.k, rng=args.seed
+            args.epsilon, k=args.k, rng=args.seed, context=context
         )
         synthetic = synthesizer.fit_sample(data)
         if args.n is not None and args.n != synthetic.n_records:
@@ -149,7 +195,7 @@ def _synthesize(args) -> int:
         model = None
     else:
         cls = DPCopulaKendall if args.method == "kendall" else DPCopulaMLE
-        synthesizer = cls(args.epsilon, k=args.k, rng=args.seed)
+        synthesizer = cls(args.epsilon, k=args.k, rng=args.seed, context=context)
         synthesizer.fit(data)
         synthetic = synthesizer.sample(args.n)
         model = ReleasedModel.from_synthesizer(synthesizer)
@@ -212,7 +258,13 @@ def _serve(args) -> int:
     from repro.service import ServiceConfig, SynthesisService, build_server
 
     service = SynthesisService(
-        ServiceConfig(data_dir=args.data_dir, epsilon_cap=args.epsilon_cap)
+        ServiceConfig(
+            data_dir=args.data_dir,
+            epsilon_cap=args.epsilon_cap,
+            fit_workers=args.fit_workers,
+            parallel_backend=args.parallel_backend,
+            parallel_workers=args.parallel_workers,
+        )
     )
     server = build_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
@@ -220,6 +272,10 @@ def _serve(args) -> int:
     host, port = server.server_address[:2]
     print(f"synthesis service listening on http://{host}:{port}")
     print(f"data directory: {args.data_dir} (ε cap {args.epsilon_cap:g}/dataset)")
+    print(
+        f"fit pool: {args.fit_workers} worker(s), "
+        f"parallel backend: {args.parallel_backend}"
+    )
     print("endpoints: /health /datasets /fits /models — see docs/SERVICE.md")
     try:
         server.serve_forever()

@@ -29,6 +29,7 @@ from repro.core.sampling import sample_synthetic
 from repro.data.dataset import Dataset, Schema
 from repro.dp.budget import PrivacyBudget, split_budget_by_ratio
 from repro.histograms.base import HistogramPublisher
+from repro.parallel import ExecutionContext, resolve_context
 from repro.utils import RngLike, as_generator, check_positive
 
 DEFAULT_RATIO_K = 8.0
@@ -50,6 +51,11 @@ class DPCopulaSynthesizer(abc.ABC):
         paper).
     rng:
         Seed or generator for all randomness (noise and sampling).
+    context:
+        :class:`~repro.parallel.ExecutionContext` (or spec string) the
+        correlation estimators fan their independent work units out
+        over (pairwise tau coefficients, per-block MLE fits).  Default
+        serial; every backend yields identical results.
     """
 
     method_name = "dpcopula"
@@ -60,6 +66,7 @@ class DPCopulaSynthesizer(abc.ABC):
         k: float = DEFAULT_RATIO_K,
         margin_publisher: Optional[HistogramPublisher] = None,
         rng: RngLike = None,
+        context: Union[ExecutionContext, str, None] = None,
     ):
         check_positive("epsilon", epsilon)
         check_positive("k", k)
@@ -67,6 +74,7 @@ class DPCopulaSynthesizer(abc.ABC):
         self.k = float(k)
         self.epsilon1, self.epsilon2 = split_budget_by_ratio(epsilon, k)
         self._rng = as_generator(rng)
+        self.context = resolve_context(context)
         self._margins = DPMargins(publisher=margin_publisher)
         self.budget_: Optional[PrivacyBudget] = None
         self.correlation_: Optional[np.ndarray] = None
@@ -110,11 +118,16 @@ class DPCopulaSynthesizer(abc.ABC):
         self._n_records = dataset.n_records
         return self
 
-    def sample(self, n: Optional[int] = None) -> Dataset:
+    def sample(
+        self, n: Optional[int] = None, chunk_size: Optional[int] = None
+    ) -> Dataset:
         """Step 3: draw ``n`` DP synthetic records (default: original n).
 
         Sampling is post-processing, so it can be repeated arbitrarily
-        without spending additional budget.
+        without spending additional budget.  ``chunk_size`` bounds the
+        per-pass working set for very large ``n`` (see
+        :func:`~repro.core.sampling.sample_synthetic`); it never changes
+        the sampled records.
         """
         self._require_fitted()
         if n is None:
@@ -125,6 +138,7 @@ class DPCopulaSynthesizer(abc.ABC):
             int(n),
             self._schema,
             rng=self._rng,
+            chunk_size=chunk_size,
         )
 
     def fit_sample(self, dataset: Dataset, n: Optional[int] = None) -> Dataset:
@@ -163,8 +177,11 @@ class DPCopulaKendall(DPCopulaSynthesizer):
         tau_method: str = "merge",
         repair: str = "eigenvalue",
         rng: RngLike = None,
+        context: Union[ExecutionContext, str, None] = None,
     ):
-        super().__init__(epsilon, k=k, margin_publisher=margin_publisher, rng=rng)
+        super().__init__(
+            epsilon, k=k, margin_publisher=margin_publisher, rng=rng, context=context
+        )
         self.subsample = subsample
         self.tau_method = tau_method
         self.repair = repair
@@ -177,6 +194,7 @@ class DPCopulaKendall(DPCopulaSynthesizer):
             subsample=self.subsample,
             tau_method=self.tau_method,
             repair=self.repair,
+            context=self.context,
         )
 
 
@@ -203,8 +221,11 @@ class DPCopulaMLE(DPCopulaSynthesizer):
         l: Optional[int] = None,
         estimator: str = "normal_scores",
         rng: RngLike = None,
+        context: Union[ExecutionContext, str, None] = None,
     ):
-        super().__init__(epsilon, k=k, margin_publisher=margin_publisher, rng=rng)
+        super().__init__(
+            epsilon, k=k, margin_publisher=margin_publisher, rng=rng, context=context
+        )
         self.l = l
         self.estimator = estimator
 
@@ -215,4 +236,5 @@ class DPCopulaMLE(DPCopulaSynthesizer):
             l=self.l,
             rng=self._rng,
             estimator=self.estimator,
+            context=self.context,
         )

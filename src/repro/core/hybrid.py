@@ -23,8 +23,7 @@ privacy issue).
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Optional, Sequence, Type
+from typing import List, Optional, Sequence, Type, Union
 
 import numpy as np
 
@@ -38,9 +37,35 @@ from repro.data.dataset import Dataset, Schema, concatenate
 from repro.dp.budget import PrivacyBudget
 from repro.dp.mechanisms import laplace_noise
 from repro.histograms.base import HistogramPublisher
+from repro.parallel import (
+    ExecutionContext,
+    resolve_context,
+    spawn_seed_sequences,
+)
 from repro.utils import RngLike, as_generator, check_positive
 
 _MAX_PARTITIONS = 100_000
+
+
+def _fit_cell_task(task, shared):
+    """Worker body: one occupied cell's full DPCopula fit + sample.
+
+    The task carries only what differs per cell (its large-domain
+    submatrix, the noisy record count to draw, and an independent child
+    seed); the synthesizer configuration rides in the shared payload so
+    the process backend ships it once per worker.
+    """
+    cell_values, synth_count, seed = task
+    cls, epsilon, k, margin_publisher, method_kwargs, large_schema = shared
+    synthesizer = cls(
+        epsilon,
+        k=k,
+        margin_publisher=margin_publisher,
+        rng=np.random.default_rng(seed),
+        **method_kwargs,
+    )
+    cell_data = Dataset(cell_values, large_schema)
+    return synthesizer.fit_sample(cell_data, n=synth_count).values
 
 
 class DPCopulaHybrid:
@@ -57,6 +82,12 @@ class DPCopulaHybrid:
     small_domain_indices:
         Attributes to partition on; ``None`` auto-detects attributes with
         domain size below the continuity threshold.
+    context:
+        :class:`~repro.parallel.ExecutionContext` (or spec string) over
+        which the per-cell fits fan out.  Parallelism is across cells
+        only — each cell's synthesizer runs serially inside its worker
+        with an independent child generator, so results are identical
+        for every backend.
     method_kwargs:
         Extra keyword arguments forwarded to the per-cell synthesizer.
     """
@@ -73,6 +104,7 @@ class DPCopulaHybrid:
         small_domain_indices: Optional[Sequence[int]] = None,
         min_fit_records: int = 10,
         rng: RngLike = None,
+        context: Union[ExecutionContext, str, None] = None,
         **method_kwargs,
     ):
         check_positive("epsilon", epsilon)
@@ -92,6 +124,7 @@ class DPCopulaHybrid:
         )
         self.min_fit_records = int(min_fit_records)
         self.method_kwargs = dict(method_kwargs)
+        self.context = resolve_context(context)
         self._rng = as_generator(rng)
         self.budget_: Optional[PrivacyBudget] = None
         self._synthetic: Optional[Dataset] = None
@@ -142,38 +175,90 @@ class DPCopulaHybrid:
 
         small_values = dataset.values[:, small]
         large_schema = schema.subset(large)
-        pieces: List[Dataset] = []
 
-        for cell in itertools.product(*[range(s) for s in small_sizes]):
-            mask = np.all(small_values == np.asarray(cell), axis=1)
-            true_count = int(mask.sum())
-            noisy_count = true_count + laplace_noise(
-                1.0 / epsilon_partition, rng=self._rng
+        # Vectorized partition census: encode each record's small-domain
+        # combination as a flat cell id (C-order, matching the cell
+        # enumeration below) and count with one bincount pass instead of
+        # one boolean mask per cell.
+        cell_ids = np.ravel_multi_index(
+            tuple(small_values[:, position] for position in range(len(small))),
+            tuple(small_sizes),
+        )
+        true_counts = np.bincount(cell_ids, minlength=total_cells)
+
+        # One vectorized Laplace draw covers *all* cells (occupied or
+        # not — the release pattern must not depend on the data), in the
+        # same C-order, so the noise stream is independent of how the
+        # per-cell work is later scheduled.
+        noise = laplace_noise(
+            1.0 / epsilon_partition, size=total_cells, rng=self._rng
+        )
+        synth_counts = np.rint(true_counts + noise).astype(np.int64)
+
+        # Triage every cell *before* dispatching any work: cells with a
+        # non-positive noisy count vanish, cells too sparse to support
+        # copula estimation take the cheap uniform fallback inline, and
+        # only genuinely fittable cells are handed to the executor — no
+        # worker slot is ever spent on a degenerate branch.
+        keep = np.flatnonzero(synth_counts > 0)
+        if keep.size == 0:
+            raise RuntimeError(
+                "every partition received a non-positive noisy count; "
+                "increase epsilon or partition_fraction"
             )
-            synth_count = int(round(noisy_count))
-            if synth_count <= 0:
-                continue
+        min_fit = max(2, self.min_fit_records)
+        fit_cells = [int(c) for c in keep if true_counts[c] >= min_fit]
+        fallback_cells = [int(c) for c in keep if true_counts[c] < min_fit]
 
-            if true_count >= max(2, self.min_fit_records):
-                cell_data = Dataset(dataset.values[mask][:, large], large_schema)
-                synthesizer = self._synthesizer_class()(
-                    epsilon_copula,
-                    k=self.k,
-                    margin_publisher=self.margin_publisher,
-                    rng=self._rng,
-                    **self.method_kwargs,
-                )
-                large_synthetic = synthesizer.fit_sample(cell_data, n=synth_count)
-                large_values = large_synthetic.values
-            else:
-                # Utility fallback for (near-)empty cells: uniform values.
-                large_values = np.column_stack(
-                    [
-                        self._rng.integers(0, a.domain_size, size=synth_count)
-                        for a in large_schema
-                    ]
-                )
+        # Independent child seeds, derived up front in deterministic cell
+        # order: the randomness each cell sees depends only on the
+        # hybrid's own generator state and the cell id, never on the
+        # backend or scheduling order.
+        seeds = spawn_seed_sequences(self._rng, keep.size)
+        seed_by_cell = {int(c): seeds[i] for i, c in enumerate(keep)}
 
+        sort_order = np.argsort(cell_ids, kind="stable")
+        sorted_ids = cell_ids[sort_order]
+        large_values_all = dataset.values[:, large]
+
+        tasks = []
+        for c in fit_cells:
+            lo, hi = np.searchsorted(sorted_ids, [c, c + 1])
+            members = sort_order[lo:hi]
+            tasks.append(
+                (
+                    np.ascontiguousarray(large_values_all[members]),
+                    int(synth_counts[c]),
+                    seed_by_cell[c],
+                )
+            )
+        shared = (
+            self._synthesizer_class(),
+            epsilon_copula,
+            self.k,
+            self.margin_publisher,
+            self.method_kwargs,
+            large_schema,
+        )
+        fitted = self.context.map_tasks(_fit_cell_task, tasks, shared=shared)
+
+        pieces: List[Dataset] = []
+        results = dict(zip(fit_cells, fitted))
+        for c in fallback_cells:
+            # Utility fallback for (near-)empty cells: uniform values,
+            # drawn from the cell's own child generator.
+            gen = np.random.default_rng(seed_by_cell[c])
+            synth_count = int(synth_counts[c])
+            results[c] = np.column_stack(
+                [
+                    gen.integers(0, a.domain_size, size=synth_count)
+                    for a in large_schema
+                ]
+            )
+        for c in sorted(results):
+            cell = np.unravel_index(c, tuple(small_sizes))
+            large_values = results[c]
+            synth_count = large_values.shape[0]
             full = np.empty((synth_count, schema.dimensions), dtype=np.int64)
             for position, j in enumerate(small):
                 full[:, j] = cell[position]
@@ -181,11 +266,6 @@ class DPCopulaHybrid:
                 full[:, j] = large_values[:, position]
             pieces.append(Dataset(full, schema))
 
-        if not pieces:
-            raise RuntimeError(
-                "every partition received a non-positive noisy count; "
-                "increase epsilon or partition_fraction"
-            )
         combined = concatenate(pieces)
         shuffled = combined.values[self._rng.permutation(combined.n_records)]
         synthetic = Dataset(shuffled, schema)

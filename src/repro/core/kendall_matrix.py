@@ -22,6 +22,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.parallel import ExecutionContext
+
 from repro.dp.sensitivity import kendall_tau_sensitivity
 from repro.stats.correlation import correlation_from_tau
 from repro.stats.kendall import kendall_tau_matrix
@@ -52,6 +54,7 @@ def dp_kendall_correlation(
     subsample: Union[str, int, None] = "auto",
     tau_method: str = "merge",
     repair: str = "eigenvalue",
+    context: Union[ExecutionContext, str, None] = None,
 ) -> np.ndarray:
     """Compute the DP correlation matrix estimator ``P̃`` (Algorithm 5).
 
@@ -69,6 +72,9 @@ def dp_kendall_correlation(
         an integer forces a specific ``n̂``; ``None`` disables it.
     repair:
         ``"eigenvalue"`` (Algorithm 5 step 3) or ``"higham"``.
+    context:
+        :class:`~repro.parallel.ExecutionContext` (or spec string) over
+        which the ``C(m, 2)`` pairwise tau computations fan out.
 
     Returns
     -------
@@ -105,7 +111,7 @@ def dp_kendall_correlation(
     else:
         sample = values
 
-    tau = kendall_tau_matrix(sample, method=tau_method)
+    tau = kendall_tau_matrix(sample, method=tau_method, context=context)
 
     sensitivity = kendall_tau_sensitivity(n_hat)
     per_pair_epsilon = epsilon2 / pairs

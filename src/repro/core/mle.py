@@ -24,11 +24,12 @@ routinely reaches the thousands).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 from scipy import stats as sps
 
+from repro.parallel import ExecutionContext, resolve_context
 from repro.stats.copula_math import copula_mle_matrix
 from repro.stats.ecdf import pseudo_copula_transform
 from repro.stats.psd_repair import is_positive_definite, make_positive_definite
@@ -71,6 +72,16 @@ def _blockwise_normal_scores(blocks: np.ndarray) -> np.ndarray:
     return corr
 
 
+def _block_mle_task(task: int, shared: np.ndarray) -> np.ndarray:
+    """Worker body: the pairwise copula MLE of one disjoint block.
+
+    ``shared`` is the full ``(l, b, m)`` block tensor (broadcast once per
+    worker by the execution context); the task is the block index.
+    """
+    pseudo = pseudo_copula_transform(shared[task])
+    return copula_mle_matrix(pseudo)
+
+
 def dp_mle_correlation(
     values: np.ndarray,
     epsilon2: float,
@@ -78,6 +89,7 @@ def dp_mle_correlation(
     rng: RngLike = None,
     estimator: str = "normal_scores",
     min_block_size: int = 4,
+    context: Union[ExecutionContext, str, None] = None,
 ) -> np.ndarray:
     """Compute the DP correlation matrix estimator ``P̃`` (Algorithm 2).
 
@@ -93,6 +105,12 @@ def dp_mle_correlation(
     estimator:
         ``"normal_scores"`` (vectorized one-step MLE) or
         ``"pairwise_mle"`` (iterative bivariate likelihood maximization).
+    context:
+        :class:`~repro.parallel.ExecutionContext` (or spec string) over
+        which the per-block ``pairwise_mle`` fits fan out — the blocks
+        are disjoint by construction, so they are independent tasks.
+        ``normal_scores`` is already vectorized across blocks and
+        ignores it.
 
     Returns
     -------
@@ -132,10 +150,9 @@ def dp_mle_correlation(
     if estimator == "normal_scores":
         block_estimates = _blockwise_normal_scores(blocks)
     elif estimator == "pairwise_mle":
-        matrices = []
-        for block in blocks:
-            pseudo = pseudo_copula_transform(block)
-            matrices.append(copula_mle_matrix(pseudo))
+        matrices = resolve_context(context).map_tasks(
+            _block_mle_task, range(l), shared=blocks
+        )
         block_estimates = np.stack(matrices)
     else:
         raise ValueError(

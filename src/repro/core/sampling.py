@@ -13,7 +13,7 @@ Three steps, all pure post-processing of already-private quantities:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import stats as sps
@@ -22,6 +22,50 @@ from repro.data.dataset import Dataset, Schema
 from repro.stats.ecdf import HistogramCDF
 from repro.stats.psd_repair import is_positive_definite, make_positive_definite
 from repro.utils import RngLike, as_generator, check_int_at_least, check_matrix_square
+
+
+class BatchedMarginInverter:
+    """All ``m`` inverse-CDF transforms in one ``searchsorted`` call.
+
+    Each margin's CDF lives in ``[0, 1]``; shifting margin ``j``'s CDF
+    (and its uniforms) into the band ``[2j, 2j + 1]`` keeps the
+    concatenated CDF vector globally sorted, so a single flat
+    ``searchsorted`` answers every column of an ``(n, m)`` uniform batch
+    at once — replacing ``m`` Python-level ``margin.inverse`` calls with
+    one C-level pass.  Subtracting each band's start index recovers the
+    per-margin bin, clipped to the margin's domain exactly as
+    :meth:`~repro.stats.ecdf.HistogramCDF.inverse` does.
+    """
+
+    def __init__(self, margins: Sequence[HistogramCDF]):
+        margins = list(margins)
+        if not margins:
+            raise ValueError("need at least one margin")
+        cdfs = [margin.cdf for margin in margins]
+        sizes = np.array([cdf.size for cdf in cdfs], dtype=np.int64)
+        self._bands = 2.0 * np.arange(len(margins))
+        self._flat = np.concatenate(
+            [cdf + band for cdf, band in zip(cdfs, self._bands)]
+        )
+        self._starts = np.concatenate(([0], np.cumsum(sizes[:-1])))
+        self._limits = sizes - 1
+
+    @property
+    def n_margins(self) -> int:
+        return self._bands.size
+
+    def __call__(self, uniforms: np.ndarray) -> np.ndarray:
+        """Map an ``(n, m)`` uniform batch onto the integer domains."""
+        uniforms = np.asarray(uniforms, dtype=float)
+        if uniforms.ndim != 2 or uniforms.shape[1] != self.n_margins:
+            raise ValueError(
+                f"expected an (n, {self.n_margins}) uniform batch, got "
+                f"shape {uniforms.shape}"
+            )
+        banded = np.clip(uniforms, 0.0, 1.0) + self._bands
+        flat_bins = np.searchsorted(self._flat, banded, side="left")
+        local = flat_bins - self._starts
+        return np.clip(local, 0, self._limits).astype(np.int64)
 
 
 def sample_pseudo_copula(
@@ -51,6 +95,7 @@ def sample_synthetic(
     n: int,
     schema: Schema,
     rng: RngLike = None,
+    chunk_size: Optional[int] = None,
 ) -> Dataset:
     """Algorithm 3 end-to-end: DP synthetic records on the original domain.
 
@@ -64,6 +109,12 @@ def sample_synthetic(
         Number of synthetic records to draw.
     schema:
         The output schema (for domain validation).
+    chunk_size:
+        Draw at most this many records per pass, so sampling millions of
+        records never materializes one giant ``(n, m)`` uniforms matrix.
+        ``None`` samples in a single pass.  Chunking does not change the
+        output: ``standard_normal`` fills C-order rows from one stream,
+        so row-chunked draws consume the generator identically.
     """
     margins = list(margins)
     correlation = check_matrix_square("correlation", correlation)
@@ -82,6 +133,20 @@ def sample_synthetic(
                 f"margin for {attribute.name!r} covers {margin.domain_size} "
                 f"values but the attribute domain has {attribute.domain_size}"
             )
-    uniforms = sample_pseudo_copula(correlation, n, rng)
-    columns = [margin.inverse(uniforms[:, j]) for j, margin in enumerate(margins)]
-    return Dataset(np.column_stack(columns), schema)
+    check_int_at_least("n", n, 1)
+    if chunk_size is not None:
+        chunk_size = check_int_at_least("chunk_size", chunk_size, 1)
+    if not is_positive_definite(correlation):
+        correlation = make_positive_definite(correlation)
+    gen = as_generator(rng)
+    m = correlation.shape[0]
+    cholesky = np.linalg.cholesky(correlation)
+    inverter = BatchedMarginInverter(margins)
+
+    step = n if chunk_size is None else chunk_size
+    out = np.empty((n, m), dtype=np.int64)
+    for start in range(0, n, step):
+        stop = min(start + step, n)
+        latent = gen.standard_normal((stop - start, m)) @ cholesky.T
+        out[start:stop] = inverter(sps.norm.cdf(latent))
+    return Dataset(out, schema)

@@ -1,0 +1,251 @@
+"""Shared parallel-execution layer for the DPCopula hot paths.
+
+Every embarrassingly parallel loop in the library — the ``C(m, 2)``
+pairwise Kendall's-tau fan-out, the per-cell hybrid fits, the per-block
+MLE estimation, the repeated-run evaluation harness — runs through one
+:class:`ExecutionContext` with three interchangeable backends:
+
+``serial``
+    A plain in-process loop.  The reference backend: every other backend
+    is required to produce bitwise-identical results.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` fan-out.  Useful
+    when the task body releases the GIL (large-array NumPy/SciPy work).
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` fan-out for
+    CPU-bound task bodies.  Task functions and payloads must be
+    picklable (module-level functions, plain-data arguments).
+
+Determinism contract
+--------------------
+Parallel execution must never change results.  Two rules enforce that:
+
+1. :meth:`ExecutionContext.map_tasks` always returns results in task
+   order, regardless of completion order.
+2. Randomized task bodies never share a generator.  Callers derive one
+   independent child seed per task *up front* with
+   :func:`spawn_seed_sequences` (``np.random.SeedSequence.spawn``), in
+   task order, from the caller's own generator.  Each task then builds
+   its private ``Generator`` from its child seed, so the random stream a
+   task sees depends only on (caller seed, task index) — not on which
+   worker ran it or when.
+
+Under these rules ``serial``, ``thread`` and ``process`` backends are
+bitwise-interchangeable for a fixed seed, which the determinism suite
+(`tests/core/test_parallel_determinism.py`) asserts end-to-end.
+
+Contexts are stateless (each :meth:`map_tasks` call builds and tears
+down its own executor), so one context can be shared freely across
+threads — e.g. by every worker of the service's fit pool.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.utils import RngLike, as_generator
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionContext",
+    "resolve_context",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variable consulted by :func:`resolve_context` when no
+#: explicit context is given, e.g. ``DPCOPULA_PARALLEL=process:4``.
+PARALLEL_ENV_VAR = "DPCOPULA_PARALLEL"
+
+#: Entropy words drawn from the caller's generator to key a spawn root.
+_ENTROPY_WORDS = 4
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def spawn_seed_sequences(rng: RngLike, n: int) -> List[np.random.SeedSequence]:
+    """Derive ``n`` independent child seeds from ``rng``, deterministically.
+
+    Draws a fixed number of entropy words from ``rng`` (advancing it by
+    the same amount no matter how many children are requested), keys a
+    :class:`numpy.random.SeedSequence` with them and spawns ``n``
+    children.  For a given generator state the children are a pure
+    function of the task index, which is what makes parallel randomness
+    reproducible and backend-independent.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    gen = as_generator(rng)
+    entropy = gen.integers(0, 2**63 - 1, size=_ENTROPY_WORDS).tolist()
+    root = np.random.SeedSequence([int(word) for word in entropy])
+    return root.spawn(n)
+
+
+def spawn_generators(rng: RngLike, n: int) -> List[np.random.Generator]:
+    """:func:`spawn_seed_sequences`, materialized into ``Generator``s."""
+    return [np.random.default_rng(seq) for seq in spawn_seed_sequences(rng, n)]
+
+
+# Worker-process state installed by the pool initializer: the shared
+# payload is pickled once per worker instead of once per task/chunk.
+_PROCESS_SHARED: Any = None
+
+
+def _install_shared(shared: Any) -> None:
+    global _PROCESS_SHARED
+    _PROCESS_SHARED = shared
+
+
+def _run_chunk(fn: Callable[[Any, Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    """Execute one contiguous chunk of tasks against the installed payload."""
+    shared = _PROCESS_SHARED
+    return [fn(task, shared) for task in chunk]
+
+
+def _run_chunk_with_shared(
+    fn: Callable[[Any, Any], Any], chunk: Sequence[Any], shared: Any
+) -> List[Any]:
+    return [fn(task, shared) for task in chunk]
+
+
+class ExecutionContext:
+    """A named backend plus a worker budget for :meth:`map_tasks`.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    max_workers:
+        Worker count for the pooled backends; ``None`` uses the number
+        of CPUs available to this process.  Ignored by ``serial``.
+    chunk_size:
+        Default tasks-per-dispatch for :meth:`map_tasks`; ``None`` picks
+        ``ceil(len(tasks) / (4 * workers))`` so each worker sees a few
+        chunks (amortizing dispatch overhead while keeping the pool
+        load-balanced).
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.backend = backend
+        self.max_workers = (
+            int(max_workers) if max_workers is not None else _available_cpus()
+        )
+        self.chunk_size = int(chunk_size) if chunk_size is not None else None
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, "ExecutionContext", None]) -> "ExecutionContext":
+        """Parse ``"backend"`` or ``"backend:workers"`` (e.g. ``process:4``)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, ExecutionContext):
+            return spec
+        text = str(spec).strip()
+        if not text:
+            return cls()
+        backend, _, workers = text.partition(":")
+        if workers:
+            try:
+                count: Optional[int] = int(workers)
+            except ValueError:
+                raise ValueError(
+                    f"invalid worker count in parallel spec {spec!r}"
+                ) from None
+        else:
+            count = None
+        return cls(backend=backend, max_workers=count)
+
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == "serial" or self.max_workers == 1
+
+    def _chunk(self, tasks: Sequence[Any], chunk_size: Optional[int]) -> List[Sequence[Any]]:
+        size = chunk_size or self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(tasks) / (4 * self.max_workers)))
+        return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+    def map_tasks(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        shared: Any = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn(task, shared)`` to every task; results in task order.
+
+        ``shared`` is a read-only payload broadcast to every task: the
+        ``process`` backend ships it to each worker exactly once (via the
+        pool initializer) instead of per task, so large arrays — rank
+        codings, data blocks — cost one pickle per worker.
+
+        For the ``process`` backend ``fn`` must be a module-level
+        function and tasks/shared/results must be picklable.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.is_serial:
+            return [fn(task, shared) for task in tasks]
+        chunks = self._chunk(tasks, chunk_size)
+        workers = min(self.max_workers, len(chunks))
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                chunked = list(
+                    pool.map(_run_chunk_with_shared, [fn] * len(chunks), chunks, [shared] * len(chunks))
+                )
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_install_shared,
+                initargs=(shared,),
+            ) as pool:
+                chunked = list(pool.map(_run_chunk, [fn] * len(chunks), chunks))
+        return [result for chunk in chunked for result in chunk]
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(backend={self.backend!r}, "
+            f"max_workers={self.max_workers})"
+        )
+
+
+def resolve_context(
+    context: Union[ExecutionContext, str, None] = None
+) -> ExecutionContext:
+    """Coerce ``context`` into an :class:`ExecutionContext`.
+
+    ``None`` consults the ``DPCOPULA_PARALLEL`` environment variable
+    (``backend`` or ``backend:workers``) and falls back to ``serial``;
+    a string is parsed with :meth:`ExecutionContext.from_spec`.
+    """
+    if isinstance(context, ExecutionContext):
+        return context
+    if context is None:
+        env = os.environ.get(PARALLEL_ENV_VAR, "").strip()
+        return ExecutionContext.from_spec(env) if env else ExecutionContext()
+    return ExecutionContext.from_spec(context)

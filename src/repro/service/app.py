@@ -27,6 +27,7 @@ from repro.service.accountant import PrivacyAccountant
 from repro.service.config import ServiceConfig
 from repro.service.datasets import DatasetStore
 from repro.service.errors import BudgetRefusedError, NotFoundError, ValidationError
+from repro.parallel import ExecutionContext
 from repro.service.jobs import FitJob, FitWorker
 from repro.service.registry import ModelRegistry
 from repro.service.serializers import dataset_summary, dataset_to_rows
@@ -62,7 +63,13 @@ class SynthesisService:
         self.datasets = DatasetStore(config.datasets_dir)
         self.registry = ModelRegistry(config.models_dir)
         self.accountant = PrivacyAccountant(config.ledger_path, config.epsilon_cap)
-        self.worker = FitWorker(self._execute_fit)
+        # One stateless execution context serves every fit worker; each
+        # map_tasks call builds its own pool, so concurrent fits never
+        # contend on shared executor state.
+        self.context = ExecutionContext(
+            backend=config.parallel_backend, max_workers=config.parallel_workers
+        )
+        self.worker = FitWorker(self._execute_fit, max_workers=config.fit_workers)
 
     # -- datasets ---------------------------------------------------------
 
@@ -156,7 +163,9 @@ class SynthesisService:
         self.accountant.charge(
             job.dataset_id, job.epsilon, label=f"fit:{job.method}:{job.job_id}"
         )
-        synthesizer = FIT_METHODS[job.method](job.epsilon, k=job.k, rng=job.seed)
+        synthesizer = FIT_METHODS[job.method](
+            job.epsilon, k=job.k, rng=job.seed, context=self.context
+        )
         synthesizer.fit(dataset)
         model = ReleasedModel.from_synthesizer(synthesizer)
         record = self.registry.put(

@@ -21,7 +21,7 @@ import re
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 PathLike = Union[str, Path]
 
@@ -80,10 +80,25 @@ class ServiceConfig:
         Per-dataset lifetime privacy cap enforced by the accountant.
         Fits whose ``ε`` would push a dataset's cumulative spend past
         this cap are refused.
+    fit_workers:
+        Size of the background fit-worker pool.  1 (the default) keeps
+        strictly serial, submission-ordered fitting; more workers
+        overlap independent fits at the cost of deterministic refusal
+        order near the budget cap (see :mod:`repro.service.jobs`).
+    parallel_backend:
+        :class:`~repro.parallel.ExecutionContext` backend every fit
+        uses for its internal hot loops (pairwise tau, per-block MLE):
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    parallel_workers:
+        Worker budget for ``parallel_backend``; ``None`` uses the CPUs
+        available to the server process.
     """
 
     data_dir: PathLike
     epsilon_cap: float = DEFAULT_EPSILON_CAP
+    fit_workers: int = 1
+    parallel_backend: str = "serial"
+    parallel_workers: Optional[int] = None
 
     @property
     def root(self) -> Path:

@@ -8,9 +8,16 @@ worker: ``POST /fits`` enqueues and returns immediately with a job id,
 and clients poll ``GET /fits/<id>`` until the job reports ``done`` (with
 the registered model id) or ``failed`` (with the error).
 
-Jobs are processed strictly one at a time.  That is a privacy feature
-as much as a throughput choice: the accountant charge and the fit happen
-in submission order, so budget refusals are deterministic.
+Jobs are processed by a bounded pool of worker threads (default one).
+Workers pull from a single FIFO queue, so jobs *start* — and charge the
+accountant — in submission order; with one worker (the default) budget
+refusals are fully deterministic, while a larger pool trades that for
+throughput: near-simultaneous jobs racing the last slice of a dataset's
+budget may charge in either order, but the accountant's lock keeps every
+individual charge atomic and the ε cap inviolable either way.  Each
+worker can additionally share one parallel
+:class:`~repro.parallel.ExecutionContext` for the fit itself — contexts
+are stateless, so a single context serves the whole pool.
 """
 
 from __future__ import annotations
@@ -69,27 +76,38 @@ class FitJob:
 
 
 class FitWorker:
-    """A single daemon thread draining a FIFO queue of fit jobs.
+    """A bounded pool of daemon threads draining a FIFO queue of fit jobs.
 
     Parameters
     ----------
     runner:
-        Called with each job once it reaches the front of the queue;
-        returns the registered model id.  Exceptions mark the job
-        ``failed`` with the exception message and never kill the worker.
+        Called with each job once a worker picks it up; returns the
+        registered model id.  Exceptions mark the job ``failed`` with
+        the exception message and never kill the worker.
+    max_workers:
+        Number of pool threads.  The default of 1 preserves strictly
+        serial, submission-ordered processing (deterministic budget
+        refusals); raise it to overlap independent fits.
     """
 
     _STOP = object()
 
-    def __init__(self, runner: Callable[[FitJob], str]):
+    def __init__(self, runner: Callable[[FitJob], str], max_workers: int = 1):
+        if int(max_workers) < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self._runner = runner
+        self.max_workers = int(max_workers)
         self._queue: "queue.Queue" = queue.Queue()
         self._jobs: Dict[str, FitJob] = {}
         self._lock = threading.Lock()
-        self._thread = threading.Thread(
-            target=self._drain, name="dpcopula-fit-worker", daemon=True
-        )
-        self._thread.start()
+        self._threads = [
+            threading.Thread(
+                target=self._drain, name=f"dpcopula-fit-worker-{i}", daemon=True
+            )
+            for i in range(self.max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     @staticmethod
     def new_job_id() -> str:
@@ -127,9 +145,11 @@ class FitWorker:
         raise TimeoutError(f"fit job {job_id!r} did not finish in {timeout}s")
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop the worker after the current job (idempotent)."""
-        self._queue.put(self._STOP)
-        self._thread.join(timeout)
+        """Stop every worker after its current job (idempotent)."""
+        for _ in self._threads:
+            self._queue.put(self._STOP)
+        for thread in self._threads:
+            thread.join(timeout)
 
     def _drain(self) -> None:
         while True:

@@ -58,7 +58,7 @@ class TestFigure7Shape:
         results = {}
         for name in ("dpcopula-kendall", "psd", "fp"):
             timed = average_evaluation(
-                make_method(name), data, workload, epsilon, n_runs=3, rng=7
+                make_method(name), data, workload, epsilon, n_runs=5, rng=7
             )
             results[name] = timed.evaluation.mean_relative_error
         assert results["dpcopula-kendall"] < results["psd"]

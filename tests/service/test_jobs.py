@@ -56,6 +56,67 @@ class TestFitWorker:
         block.set()
         worker.close()
 
+    def test_rejects_bad_pool_size(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            FitWorker(lambda job: "m", max_workers=0)
+
+    def test_pool_overlaps_jobs(self):
+        """With two workers, two blocking jobs run concurrently."""
+        rendezvous = threading.Barrier(2, timeout=5.0)
+
+        def runner(job):
+            rendezvous.wait()  # deadlocks unless both jobs run at once
+            return job.job_id
+
+        worker = FitWorker(runner, max_workers=2)
+        for i in range(2):
+            worker.submit(FitJob(job_id=f"p{i}", dataset_id="d",
+                                 method="kendall", epsilon=1.0, k=8.0))
+        assert worker.wait("p0", timeout=5.0).status == JobStatus.DONE
+        assert worker.wait("p1", timeout=5.0).status == JobStatus.DONE
+        worker.close()
+
+    def test_pool_drains_more_jobs_than_workers(self):
+        done = []
+        worker = FitWorker(lambda job: done.append(job.job_id) or job.job_id,
+                           max_workers=3)
+        for i in range(10):
+            worker.submit(FitJob(job_id=f"q{i}", dataset_id="d",
+                                 method="kendall", epsilon=1.0, k=8.0))
+        for i in range(10):
+            assert worker.wait(f"q{i}", timeout=5.0).status == JobStatus.DONE
+        assert sorted(done) == sorted(f"q{i}" for i in range(10))
+        worker.close()
+
+
+class TestPooledService:
+    """The service wired with a fit pool and a parallel context."""
+
+    def test_concurrent_fits_register_models(self, tmp_path, csv_text):
+        config = ServiceConfig(
+            data_dir=tmp_path / "pooled",
+            epsilon_cap=10.0,
+            fit_workers=2,
+            parallel_backend="thread",
+            parallel_workers=2,
+        )
+        service = SynthesisService(config)
+        try:
+            service.upload_dataset("d1", csv_text)
+            jobs = [
+                service.submit_fit(
+                    {"dataset_id": "d1", "epsilon": 0.5, "seed": i}
+                )
+                for i in range(3)
+            ]
+            for job in jobs:
+                finished = service.worker.wait(job["job_id"], timeout=60.0)
+                assert finished.status == JobStatus.DONE, finished.error
+            assert len(service.list_models()) == 3
+            assert service.budget_summary("d1")["epsilon_spent"] == pytest.approx(1.5)
+        finally:
+            service.close()
+
 
 class TestServiceCore:
     """Service-level validation without going through HTTP."""

@@ -7,9 +7,11 @@ the budget ledger plus a utility report.
 
 Examples
 --------
-Synthesize with the default DPCopula-Kendall at ε = 1::
+Synthesize with the default DPCopula-Kendall at ε = 1 (``fit`` is an
+alias of ``synthesize``; ``--profile`` prints a per-stage timing tree)::
 
     dpcopula synthesize data.csv synthetic.csv --epsilon 1.0
+    dpcopula fit data.csv synthetic.csv --profile
 
 Use the hybrid for data with small-domain attributes, persist the model::
 
@@ -37,10 +39,13 @@ import json
 import sys
 from typing import List, Optional
 
+from contextlib import nullcontext
+
 from repro.core.dpcopula import DPCopulaKendall, DPCopulaMLE
 from repro.core.hybrid import DPCopulaHybrid
 from repro.io import ReleasedModel, load_dataset_csv, save_dataset_csv
 from repro.queries.metrics import utility_report
+from repro.telemetry import trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,7 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     synthesize = commands.add_parser(
-        "synthesize", help="fit DPCopula and write a synthetic CSV"
+        "synthesize",
+        aliases=["fit"],
+        help="fit DPCopula and write a synthetic CSV",
     )
     synthesize.add_argument("input", help="integer-coded CSV (name[domain] headers)")
     synthesize.add_argument("output", help="synthetic CSV to write")
@@ -97,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a distributional utility report (original vs synthetic)",
     )
+    synthesize.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing tree (margins, correlation, "
+        "PSD repair, sampling) after synthesis",
+    )
 
     resample = commands.add_parser(
         "resample", help="sample from a persisted released model"
@@ -105,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     resample.add_argument("output", help="synthetic CSV to write")
     resample.add_argument("--n", type=int, default=None, help="record count")
     resample.add_argument("--seed", type=int, default=None, help="RNG seed")
+    resample.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing tree after sampling",
+    )
 
     inspect = commands.add_parser("inspect", help="print a dataset's schema")
     inspect.add_argument("input", help="integer-coded CSV")
@@ -153,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker budget for --parallel-backend (default: available CPUs)",
     )
     serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "off"),
+        default=None,
+        help="structured JSON logging level for the service (overridden "
+        "by the DPCOPULA_LOG environment variable)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
@@ -181,29 +206,39 @@ def _synthesize(args) -> int:
     data = load_dataset_csv(args.input)
     print(f"loaded {data}")
     context = _parallel_context(args)
-    if args.method == "hybrid":
-        synthesizer = DPCopulaHybrid(
-            args.epsilon, k=args.k, rng=args.seed, context=context
-        )
-        synthetic = synthesizer.fit_sample(data)
-        if args.n is not None and args.n != synthetic.n_records:
-            print(
-                "note: --n is ignored by the hybrid method (cell counts are "
-                "themselves DP releases)",
-                file=sys.stderr,
+    profiling = (
+        trace.trace_root("synthesize", method=args.method)
+        if args.profile
+        else nullcontext()
+    )
+    with profiling as root:
+        if args.method == "hybrid":
+            synthesizer = DPCopulaHybrid(
+                args.epsilon, k=args.k, rng=args.seed, context=context
             )
-        model = None
-    else:
-        cls = DPCopulaKendall if args.method == "kendall" else DPCopulaMLE
-        synthesizer = cls(args.epsilon, k=args.k, rng=args.seed, context=context)
-        synthesizer.fit(data)
-        synthetic = synthesizer.sample(args.n)
-        model = ReleasedModel.from_synthesizer(synthesizer)
+            synthetic = synthesizer.fit_sample(data)
+            if args.n is not None and args.n != synthetic.n_records:
+                print(
+                    "note: --n is ignored by the hybrid method (cell counts are "
+                    "themselves DP releases)",
+                    file=sys.stderr,
+                )
+            model = None
+        else:
+            cls = DPCopulaKendall if args.method == "kendall" else DPCopulaMLE
+            synthesizer = cls(args.epsilon, k=args.k, rng=args.seed, context=context)
+            synthesizer.fit(data)
+            synthetic = synthesizer.sample(args.n)
+            model = ReleasedModel.from_synthesizer(synthesizer)
 
     save_dataset_csv(synthetic, args.output)
     print(f"wrote {synthetic} -> {args.output}")
     print()
     print(synthesizer.budget_.summary())
+    if root is not None:
+        print()
+        print("stage timings (seconds):")
+        print(trace.render(root))
 
     if args.save_model:
         model.save(args.save_model)
@@ -223,13 +258,21 @@ def _synthesize(args) -> int:
 
 def _resample(args) -> int:
     model = ReleasedModel.load(args.model)
-    synthetic = model.sample(args.n, rng=args.seed)
+    profiling = (
+        trace.trace_root("resample") if args.profile else nullcontext()
+    )
+    with profiling as root:
+        synthetic = model.sample(args.n, rng=args.seed)
     save_dataset_csv(synthetic, args.output)
     print(
         f"sampled {synthetic.n_records} records from the released model "
         f"(epsilon={model.epsilon}) -> {args.output}"
     )
     print("re-sampling a released model is post-processing: no new privacy cost")
+    if root is not None:
+        print()
+        print("stage timings (seconds):")
+        print(trace.render(root))
     return 0
 
 
@@ -264,6 +307,7 @@ def _serve(args) -> int:
             fit_workers=args.fit_workers,
             parallel_backend=args.parallel_backend,
             parallel_workers=args.parallel_workers,
+            log_level=args.log_level,
         )
     )
     server = build_server(
@@ -276,7 +320,10 @@ def _serve(args) -> int:
         f"fit pool: {args.fit_workers} worker(s), "
         f"parallel backend: {args.parallel_backend}"
     )
-    print("endpoints: /health /datasets /fits /models — see docs/SERVICE.md")
+    print(
+        "endpoints: /health /healthz /metrics /datasets /fits /models "
+        "— see docs/SERVICE.md and docs/OBSERVABILITY.md"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -290,7 +337,7 @@ def _serve(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``dpcopula`` command."""
     args = build_parser().parse_args(argv)
-    if args.command == "synthesize":
+    if args.command in ("synthesize", "fit"):
         return _synthesize(args)
     if args.command == "resample":
         return _resample(args)

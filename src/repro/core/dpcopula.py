@@ -30,7 +30,10 @@ from repro.data.dataset import Dataset, Schema
 from repro.dp.budget import PrivacyBudget, split_budget_by_ratio
 from repro.histograms.base import HistogramPublisher
 from repro.parallel import ExecutionContext, resolve_context
+from repro.telemetry import get_logger, trace
 from repro.utils import RngLike, as_generator, check_positive
+
+_logger = get_logger("core.dpcopula")
 
 DEFAULT_RATIO_K = 8.0
 
@@ -109,10 +112,30 @@ class DPCopulaSynthesizer(abc.ABC):
         """Run steps 1 and 2 on ``dataset``, spending the full budget."""
         if dataset.n_records < 2:
             raise ValueError("DPCopula needs at least two records")
-        budget = PrivacyBudget(self.epsilon)
-        self._margins.fit(dataset, self.epsilon1, rng=self._rng, budget=budget)
-        self.correlation_ = self._estimate_correlation(dataset)
-        budget.spend(self.epsilon2, "correlation matrix")
+        with trace.span(
+            "fit",
+            method=self.method_name,
+            n=dataset.n_records,
+            m=dataset.dimensions,
+            epsilon=self.epsilon,
+        ):
+            budget = PrivacyBudget(self.epsilon)
+            with trace.span("margins", epsilon1=round(self.epsilon1, 6)):
+                self._margins.fit(
+                    dataset, self.epsilon1, rng=self._rng, budget=budget
+                )
+            with trace.span("correlation", epsilon2=round(self.epsilon2, 6)):
+                self.correlation_ = self._estimate_correlation(dataset)
+            budget.spend(self.epsilon2, "correlation matrix")
+        _logger.debug(
+            "fit complete",
+            extra={
+                "method": self.method_name,
+                "n": dataset.n_records,
+                "m": dataset.dimensions,
+                "epsilon": self.epsilon,
+            },
+        )
         self.budget_ = budget
         self._schema = dataset.schema
         self._n_records = dataset.n_records

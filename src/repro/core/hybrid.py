@@ -42,9 +42,17 @@ from repro.parallel import (
     resolve_context,
     spawn_seed_sequences,
 )
+from repro.telemetry import get_logger, metrics, trace
 from repro.utils import RngLike, as_generator, check_positive
 
 _MAX_PARTITIONS = 100_000
+
+_logger = get_logger("core.hybrid")
+
+_FIT_ERRORS = metrics.REGISTRY.counter(
+    "dpcopula_fit_errors_total",
+    "Failed fits, by pipeline stage (label: stage)",
+)
 
 
 def _fit_cell_task(task, shared):
@@ -134,6 +142,16 @@ class DPCopulaHybrid:
 
     def fit_sample(self, dataset: Dataset) -> Dataset:
         """Run Algorithm 6 end-to-end and return the synthetic dataset."""
+        with trace.span(
+            "hybrid.fit_sample",
+            method=self.method,
+            n=dataset.n_records,
+            m=dataset.dimensions,
+            epsilon=self.epsilon,
+        ):
+            return self._fit_sample(dataset)
+
+    def _fit_sample(self, dataset: Dataset) -> Dataset:
         schema = dataset.schema
         small = (
             self.small_domain_indices
@@ -176,24 +194,25 @@ class DPCopulaHybrid:
         small_values = dataset.values[:, small]
         large_schema = schema.subset(large)
 
-        # Vectorized partition census: encode each record's small-domain
-        # combination as a flat cell id (C-order, matching the cell
-        # enumeration below) and count with one bincount pass instead of
-        # one boolean mask per cell.
-        cell_ids = np.ravel_multi_index(
-            tuple(small_values[:, position] for position in range(len(small))),
-            tuple(small_sizes),
-        )
-        true_counts = np.bincount(cell_ids, minlength=total_cells)
+        with trace.span("census", cells=total_cells):
+            # Vectorized partition census: encode each record's small-domain
+            # combination as a flat cell id (C-order, matching the cell
+            # enumeration below) and count with one bincount pass instead of
+            # one boolean mask per cell.
+            cell_ids = np.ravel_multi_index(
+                tuple(small_values[:, position] for position in range(len(small))),
+                tuple(small_sizes),
+            )
+            true_counts = np.bincount(cell_ids, minlength=total_cells)
 
-        # One vectorized Laplace draw covers *all* cells (occupied or
-        # not — the release pattern must not depend on the data), in the
-        # same C-order, so the noise stream is independent of how the
-        # per-cell work is later scheduled.
-        noise = laplace_noise(
-            1.0 / epsilon_partition, size=total_cells, rng=self._rng
-        )
-        synth_counts = np.rint(true_counts + noise).astype(np.int64)
+            # One vectorized Laplace draw covers *all* cells (occupied or
+            # not — the release pattern must not depend on the data), in the
+            # same C-order, so the noise stream is independent of how the
+            # per-cell work is later scheduled.
+            noise = laplace_noise(
+                1.0 / epsilon_partition, size=total_cells, rng=self._rng
+            )
+            synth_counts = np.rint(true_counts + noise).astype(np.int64)
 
         # Triage every cell *before* dispatching any work: cells with a
         # non-positive noisy count vanish, cells too sparse to support
@@ -240,7 +259,25 @@ class DPCopulaHybrid:
             self.method_kwargs,
             large_schema,
         )
-        fitted = self.context.map_tasks(_fit_cell_task, tasks, shared=shared)
+        try:
+            with trace.span(
+                "cell_fits", cells=len(tasks), fallback=len(fallback_cells)
+            ):
+                fitted = self.context.map_tasks(_fit_cell_task, tasks, shared=shared)
+        except Exception:
+            # A worker exception used to surface as a bare traceback from
+            # deep inside the executor; record which stage died (and how
+            # many cells were in flight) before propagating.
+            _FIT_ERRORS.inc(stage="hybrid_cell_fit")
+            _logger.exception(
+                "hybrid per-cell fit failed",
+                extra={
+                    "cells": len(tasks),
+                    "backend": self.context.backend,
+                    "method": self.method,
+                },
+            )
+            raise
 
         pieces: List[Dataset] = []
         results = dict(zip(fit_cells, fitted))
@@ -255,20 +292,21 @@ class DPCopulaHybrid:
                     for a in large_schema
                 ]
             )
-        for c in sorted(results):
-            cell = np.unravel_index(c, tuple(small_sizes))
-            large_values = results[c]
-            synth_count = large_values.shape[0]
-            full = np.empty((synth_count, schema.dimensions), dtype=np.int64)
-            for position, j in enumerate(small):
-                full[:, j] = cell[position]
-            for position, j in enumerate(large):
-                full[:, j] = large_values[:, position]
-            pieces.append(Dataset(full, schema))
+        with trace.span("assemble", cells=len(results)):
+            for c in sorted(results):
+                cell = np.unravel_index(c, tuple(small_sizes))
+                large_values = results[c]
+                synth_count = large_values.shape[0]
+                full = np.empty((synth_count, schema.dimensions), dtype=np.int64)
+                for position, j in enumerate(small):
+                    full[:, j] = cell[position]
+                for position, j in enumerate(large):
+                    full[:, j] = large_values[:, position]
+                pieces.append(Dataset(full, schema))
 
-        combined = concatenate(pieces)
-        shuffled = combined.values[self._rng.permutation(combined.n_records)]
-        synthetic = Dataset(shuffled, schema)
+            combined = concatenate(pieces)
+            shuffled = combined.values[self._rng.permutation(combined.n_records)]
+            synthetic = Dataset(shuffled, schema)
         self.budget_ = budget
         self._synthetic = synthetic
         return synthetic

@@ -23,6 +23,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.parallel import ExecutionContext
+from repro.telemetry import trace
 
 from repro.dp.sensitivity import kendall_tau_sensitivity
 from repro.stats.correlation import correlation_from_tau
@@ -106,28 +107,32 @@ def dp_kendall_correlation(
             raise ValueError(f"subsample size must be >= 2, got {subsample}")
 
     if n_hat < n:
-        indices = gen.choice(n, size=n_hat, replace=False)
-        sample = values[indices]
+        with trace.span("subsample", n=n, n_hat=n_hat):
+            indices = gen.choice(n, size=n_hat, replace=False)
+            sample = values[indices]
     else:
         sample = values
 
-    tau = kendall_tau_matrix(sample, method=tau_method, context=context)
+    with trace.span("kendall_matrix", m=m, n=n_hat, pairs=pairs):
+        tau = kendall_tau_matrix(sample, method=tau_method, context=context)
 
     sensitivity = kendall_tau_sensitivity(n_hat)
     per_pair_epsilon = epsilon2 / pairs
     scale = sensitivity / per_pair_epsilon
-    noisy_tau = tau.copy()
-    upper = np.triu_indices(m, k=1)
-    noise = gen.laplace(0.0, scale, size=len(upper[0]))
-    noisy_tau[upper] += noise
-    noisy_tau.T[upper] = noisy_tau[upper]
-    noisy_tau = np.clip(noisy_tau, -1.0, 1.0)
-    np.fill_diagonal(noisy_tau, 1.0)
+    with trace.span("laplace_noise", pairs=pairs):
+        noisy_tau = tau.copy()
+        upper = np.triu_indices(m, k=1)
+        noise = gen.laplace(0.0, scale, size=len(upper[0]))
+        noisy_tau[upper] += noise
+        noisy_tau.T[upper] = noisy_tau[upper]
+        noisy_tau = np.clip(noisy_tau, -1.0, 1.0)
+        np.fill_diagonal(noisy_tau, 1.0)
 
     correlation = correlation_from_tau(noisy_tau)
 
     if is_positive_definite(correlation):
         return correlation
-    if repair == "eigenvalue":
-        return make_positive_definite(correlation)
-    return higham_nearest_correlation(correlation)
+    with trace.span("psd_repair", method=repair):
+        if repair == "eigenvalue":
+            return make_positive_definite(correlation)
+        return higham_nearest_correlation(correlation)

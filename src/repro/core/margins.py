@@ -19,6 +19,7 @@ from repro.dp.budget import PrivacyBudget
 from repro.histograms.base import HistogramPublisher
 from repro.histograms.efpa import EFPAPublisher
 from repro.stats.ecdf import HistogramCDF
+from repro.telemetry import trace
 from repro.utils import RngLike, as_generator, check_positive
 
 
@@ -51,12 +52,17 @@ class DPMargins:
         self._cdfs = []
         self._noisy_counts = []
         for j in range(m):
-            counts = dataset.marginal_counts(j)
-            noisy = self.publisher.publish(counts, per_margin, gen)
-            if budget is not None:
-                budget.spend(per_margin, f"margin:{dataset.schema[j].name}")
-            self._noisy_counts.append(np.asarray(noisy, dtype=float))
-            self._cdfs.append(HistogramCDF(noisy))
+            with trace.span(
+                "margin",
+                attribute=dataset.schema[j].name,
+                domain=dataset.schema[j].domain_size,
+            ):
+                counts = dataset.marginal_counts(j)
+                noisy = self.publisher.publish(counts, per_margin, gen)
+                if budget is not None:
+                    budget.spend(per_margin, f"margin:{dataset.schema[j].name}")
+                self._noisy_counts.append(np.asarray(noisy, dtype=float))
+                self._cdfs.append(HistogramCDF(noisy))
         return self
 
     @property

@@ -30,6 +30,7 @@ import numpy as np
 from scipy import stats as sps
 
 from repro.parallel import ExecutionContext, resolve_context
+from repro.telemetry import trace
 from repro.stats.copula_math import copula_mle_matrix
 from repro.stats.ecdf import pseudo_copula_transform
 from repro.stats.psd_repair import is_positive_definite, make_positive_definite
@@ -143,33 +144,37 @@ def dp_mle_correlation(
             f"blocks of {block_size} record(s) cannot support correlation "
             f"estimation; reduce l (= {l}) or provide more data"
         )
-    usable = l * block_size
-    permutation = gen.permutation(n)[:usable]
-    blocks = values[permutation].reshape(l, block_size, m)
+    with trace.span("partition", l=l, block_size=block_size):
+        usable = l * block_size
+        permutation = gen.permutation(n)[:usable]
+        blocks = values[permutation].reshape(l, block_size, m)
 
-    if estimator == "normal_scores":
-        block_estimates = _blockwise_normal_scores(blocks)
-    elif estimator == "pairwise_mle":
-        matrices = resolve_context(context).map_tasks(
-            _block_mle_task, range(l), shared=blocks
-        )
-        block_estimates = np.stack(matrices)
-    else:
-        raise ValueError(
-            f"unknown estimator {estimator!r}; expected 'normal_scores' or "
-            "'pairwise_mle'"
-        )
+    with trace.span("block_estimates", estimator=estimator, l=l):
+        if estimator == "normal_scores":
+            block_estimates = _blockwise_normal_scores(blocks)
+        elif estimator == "pairwise_mle":
+            matrices = resolve_context(context).map_tasks(
+                _block_mle_task, range(l), shared=blocks
+            )
+            block_estimates = np.stack(matrices)
+        else:
+            raise ValueError(
+                f"unknown estimator {estimator!r}; expected 'normal_scores' or "
+                "'pairwise_mle'"
+            )
 
     averaged = block_estimates.mean(axis=0)
 
-    scale = (pairs * COEFFICIENT_DIAMETER) / (l * epsilon2)
-    upper = np.triu_indices(m, k=1)
-    noisy = averaged.copy()
-    noisy[upper] += gen.laplace(0.0, scale, size=len(upper[0]))
-    noisy.T[upper] = noisy[upper]
-    noisy = np.clip(noisy, -1.0, 1.0)
-    np.fill_diagonal(noisy, 1.0)
+    with trace.span("laplace_noise", pairs=pairs):
+        scale = (pairs * COEFFICIENT_DIAMETER) / (l * epsilon2)
+        upper = np.triu_indices(m, k=1)
+        noisy = averaged.copy()
+        noisy[upper] += gen.laplace(0.0, scale, size=len(upper[0]))
+        noisy.T[upper] = noisy[upper]
+        noisy = np.clip(noisy, -1.0, 1.0)
+        np.fill_diagonal(noisy, 1.0)
 
     if is_positive_definite(noisy):
         return noisy
-    return make_positive_definite(noisy)
+    with trace.span("psd_repair", method="eigenvalue"):
+        return make_positive_definite(noisy)

@@ -21,6 +21,7 @@ from scipy import stats as sps
 from repro.data.dataset import Dataset, Schema
 from repro.stats.ecdf import HistogramCDF
 from repro.stats.psd_repair import is_positive_definite, make_positive_definite
+from repro.telemetry import trace
 from repro.utils import RngLike, as_generator, check_int_at_least, check_matrix_square
 
 
@@ -136,17 +137,19 @@ def sample_synthetic(
     check_int_at_least("n", n, 1)
     if chunk_size is not None:
         chunk_size = check_int_at_least("chunk_size", chunk_size, 1)
-    if not is_positive_definite(correlation):
-        correlation = make_positive_definite(correlation)
-    gen = as_generator(rng)
-    m = correlation.shape[0]
-    cholesky = np.linalg.cholesky(correlation)
-    inverter = BatchedMarginInverter(margins)
+    with trace.span("sampling", n=int(n), m=correlation.shape[0]):
+        if not is_positive_definite(correlation):
+            with trace.span("psd_repair"):
+                correlation = make_positive_definite(correlation)
+        gen = as_generator(rng)
+        m = correlation.shape[0]
+        cholesky = np.linalg.cholesky(correlation)
+        inverter = BatchedMarginInverter(margins)
 
-    step = n if chunk_size is None else chunk_size
-    out = np.empty((n, m), dtype=np.int64)
-    for start in range(0, n, step):
-        stop = min(start + step, n)
-        latent = gen.standard_normal((stop - start, m)) @ cholesky.T
-        out[start:stop] = inverter(sps.norm.cdf(latent))
-    return Dataset(out, schema)
+        step = n if chunk_size is None else chunk_size
+        out = np.empty((n, m), dtype=np.int64)
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            latent = gen.standard_normal((stop - start, m)) @ cholesky.T
+            out[start:stop] = inverter(sps.norm.cdf(latent))
+        return Dataset(out, schema)

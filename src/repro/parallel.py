@@ -48,7 +48,20 @@ from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.telemetry import get_logger, metrics, trace
 from repro.utils import RngLike, as_generator
+
+_logger = get_logger("parallel")
+
+_TASKS_TOTAL = metrics.REGISTRY.counter(
+    "dpcopula_parallel_tasks_total",
+    "Tasks dispatched through ExecutionContext.map_tasks (label: backend)",
+)
+_FANOUT_TASKS = metrics.REGISTRY.histogram(
+    "dpcopula_parallel_fanout_tasks",
+    "Tasks per map_tasks call (label: backend)",
+    buckets=metrics.DEFAULT_FANOUT_BUCKETS,
+)
 
 __all__ = [
     "BACKENDS",
@@ -118,6 +131,29 @@ def _run_chunk_with_shared(
     fn: Callable[[Any, Any], Any], chunk: Sequence[Any], shared: Any
 ) -> List[Any]:
     return [fn(task, shared) for task in chunk]
+
+
+# Traced twins of the chunk runners: pool workers cannot see the
+# caller's contextvars, so when a trace is active each chunk runs under
+# its own collected root (`parallel.chunk`) and ships the exported
+# subtree home with the results.  Timing is the only difference — the
+# task bodies, their order, and their RNG streams are untouched, so
+# traced runs stay bitwise-identical to untraced ones.
+def _run_chunk_traced(fn: Callable[[Any, Any], Any], chunk: Sequence[Any]):
+    shared = _PROCESS_SHARED
+    return trace.call_collected(
+        "parallel.chunk", lambda: [fn(task, shared) for task in chunk],
+        tasks=len(chunk),
+    )
+
+
+def _run_chunk_with_shared_traced(
+    fn: Callable[[Any, Any], Any], chunk: Sequence[Any], shared: Any
+):
+    return trace.call_collected(
+        "parallel.chunk", lambda: [fn(task, shared) for task in chunk],
+        tasks=len(chunk),
+    )
 
 
 class ExecutionContext:
@@ -209,23 +245,49 @@ class ExecutionContext:
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.is_serial:
-            return [fn(task, shared) for task in tasks]
-        chunks = self._chunk(tasks, chunk_size)
-        workers = min(self.max_workers, len(chunks))
-        if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                chunked = list(
-                    pool.map(_run_chunk_with_shared, [fn] * len(chunks), chunks, [shared] * len(chunks))
-                )
-        else:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_install_shared,
-                initargs=(shared,),
-            ) as pool:
-                chunked = list(pool.map(_run_chunk, [fn] * len(chunks), chunks))
-        return [result for chunk in chunked for result in chunk]
+        _TASKS_TOTAL.inc(len(tasks), backend=self.backend)
+        _FANOUT_TASKS.observe(len(tasks), backend=self.backend)
+        traced = trace.is_active()
+        with trace.span(
+            "parallel.map_tasks",
+            backend=self.backend,
+            tasks=len(tasks),
+            workers=1 if self.is_serial else self.max_workers,
+        ):
+            if self.is_serial:
+                return [fn(task, shared) for task in tasks]
+            chunks = self._chunk(tasks, chunk_size)
+            workers = min(self.max_workers, len(chunks))
+            _logger.debug(
+                "map_tasks fan-out",
+                extra={
+                    "backend": self.backend,
+                    "tasks": len(tasks),
+                    "chunks": len(chunks),
+                    "workers": workers,
+                },
+            )
+            if self.backend == "thread":
+                runner = _run_chunk_with_shared_traced if traced else _run_chunk_with_shared
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    chunked = list(
+                        pool.map(runner, [fn] * len(chunks), chunks, [shared] * len(chunks))
+                    )
+            else:
+                runner = _run_chunk_traced if traced else _run_chunk
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_install_shared,
+                    initargs=(shared,),
+                ) as pool:
+                    chunked = list(pool.map(runner, [fn] * len(chunks), chunks))
+            if traced:
+                results = []
+                for chunk_results, exported in chunked:
+                    trace.attach(exported)
+                    results.extend(chunk_results)
+                return results
+            return [result for chunk in chunked for result in chunk]
 
     def __repr__(self) -> str:
         return (

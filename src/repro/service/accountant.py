@@ -24,9 +24,27 @@ from typing import Any, Dict, List, Optional
 
 from repro.dp.budget import BudgetExhaustedError, PrivacyBudget
 from repro.service.config import PathLike
+from repro.telemetry import get_logger, metrics
 from repro.utils import check_positive
 
 __all__ = ["PrivacyAccountant", "BudgetExhaustedError"]
+
+_logger = get_logger("service.accountant")
+
+# Per-dataset privacy gauges: refreshed on every charge and on ledger
+# replay, so /metrics always reflects the durable accounting state.
+_EPS_SPENT = metrics.REGISTRY.gauge(
+    "dpcopula_epsilon_spent",
+    "Cumulative privacy budget charged per dataset (label: dataset)",
+)
+_EPS_REMAINING = metrics.REGISTRY.gauge(
+    "dpcopula_epsilon_remaining",
+    "Privacy budget left under the lifetime cap per dataset (label: dataset)",
+)
+_BUDGET_REFUSALS = metrics.REGISTRY.counter(
+    "dpcopula_budget_refusals_total",
+    "Charges refused because they would exceed a dataset's lifetime cap",
+)
 
 
 class PrivacyAccountant:
@@ -79,7 +97,19 @@ class PrivacyAccountant:
                     (str(entry.get("label", "")), epsilon)
                 )
         for dataset, spends in per_dataset.items():
-            self._budgets[dataset] = PrivacyBudget.replay(self.epsilon_cap, spends)
+            budget = PrivacyBudget.replay(self.epsilon_cap, spends)
+            self._budgets[dataset] = budget
+            _EPS_SPENT.set(budget.spent, dataset=dataset)
+            _EPS_REMAINING.set(budget.remaining, dataset=dataset)
+        if per_dataset:
+            _logger.info(
+                "privacy ledger replayed",
+                extra={
+                    "datasets": len(per_dataset),
+                    "entries": len(self._entries),
+                    "ledger": str(self.ledger_path),
+                },
+            )
 
     def spent(self, dataset_id: str) -> float:
         """Cumulative ε already charged to ``dataset_id``."""
@@ -114,7 +144,20 @@ class PrivacyAccountant:
             budget = self._budgets.setdefault(
                 dataset_id, PrivacyBudget(self.epsilon_cap)
             )
-            budget.spend(epsilon, label)  # raises BudgetExhaustedError
+            try:
+                budget.spend(epsilon, label)
+            except BudgetExhaustedError:
+                _BUDGET_REFUSALS.inc()
+                _logger.warning(
+                    "charge refused: lifetime cap",
+                    extra={
+                        "dataset": dataset_id,
+                        "epsilon": float(epsilon),
+                        "spent": budget.spent,
+                        "cap": self.epsilon_cap,
+                    },
+                )
+                raise
             entry = {
                 "dataset": dataset_id,
                 "epsilon": float(epsilon),
@@ -128,8 +171,24 @@ class PrivacyAccountant:
                 # not record must not count against future charges.
                 budget.spent -= float(epsilon)
                 budget.log.pop()
+                _logger.exception(
+                    "ledger append failed; charge rolled back",
+                    extra={"dataset": dataset_id, "ledger": str(self.ledger_path)},
+                )
                 raise
             self._entries.append(entry)
+            _EPS_SPENT.set(budget.spent, dataset=dataset_id)
+            _EPS_REMAINING.set(budget.remaining, dataset=dataset_id)
+            _logger.info(
+                "epsilon charged",
+                extra={
+                    "dataset": dataset_id,
+                    "epsilon": float(epsilon),
+                    "label": label,
+                    "spent": budget.spent,
+                    "remaining": budget.remaining,
+                },
+            )
             return float(epsilon)
 
     def _append(self, entry: Dict[str, Any]) -> None:

@@ -19,6 +19,8 @@ safe to serve concurrently.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.dpcopula import DEFAULT_RATIO_K, DPCopulaKendall, DPCopulaMLE
@@ -31,9 +33,25 @@ from repro.parallel import ExecutionContext
 from repro.service.jobs import FitJob, FitWorker
 from repro.service.registry import ModelRegistry
 from repro.service.serializers import dataset_summary, dataset_to_rows
+from repro.telemetry import configure_logging, get_logger, metrics, trace
 from repro.utils import as_generator
 
 __all__ = ["SynthesisService", "FIT_METHODS"]
+
+_logger = get_logger("service.app")
+
+_FIT_SECONDS = metrics.REGISTRY.histogram(
+    "dpcopula_fit_seconds",
+    "End-to-end fit wall-clock seconds (label: method)",
+)
+_SAMPLE_SECONDS = metrics.REGISTRY.histogram(
+    "dpcopula_sample_seconds",
+    "Sample-request wall-clock seconds",
+)
+_SAMPLE_RECORDS = metrics.REGISTRY.counter(
+    "dpcopula_sample_records_total",
+    "Synthetic records served by the sampling endpoint",
+)
 
 #: Methods the service can fit.  The hybrid is deliberately absent: its
 #: per-cell models are not captured by :class:`~repro.io.ReleasedModel`,
@@ -59,6 +77,7 @@ class SynthesisService:
 
     def __init__(self, config: ServiceConfig):
         self.config = config
+        configure_logging(config.log_level)
         config.ensure_layout()
         self.datasets = DatasetStore(config.datasets_dir)
         self.registry = ModelRegistry(config.models_dir)
@@ -156,23 +175,43 @@ class SynthesisService:
         return self.worker.submit(job).to_dict()
 
     def _execute_fit(self, job: FitJob) -> str:
-        """Worker entry point: charge the ledger, fit, register."""
+        """Worker entry point: charge the ledger, fit, register.
+
+        Every service fit runs under an active trace: the spans feed the
+        per-stage latency histograms, and the fit's provenance — wall
+        clock, execution backend, worker budget — is persisted into the
+        model's registry sidecar so ``GET /models/<id>`` (and the CLI's
+        ``inspect --json``) can always answer *how was this released
+        model produced?*
+        """
         dataset = self.datasets.get(job.dataset_id)
         # Charge before fitting: once the mechanisms below see the data
         # the privacy loss is real, so an overdraft must stop us here.
         self.accountant.charge(
             job.dataset_id, job.epsilon, label=f"fit:{job.method}:{job.job_id}"
         )
-        synthesizer = FIT_METHODS[job.method](
-            job.epsilon, k=job.k, rng=job.seed, context=self.context
-        )
-        synthesizer.fit(dataset)
+        started = time.perf_counter()
+        with trace.trace_root("service.fit", method=job.method) as profile:
+            synthesizer = FIT_METHODS[job.method](
+                job.epsilon, k=job.k, rng=job.seed, context=self.context
+            )
+            synthesizer.fit(dataset)
+        fit_seconds = time.perf_counter() - started
+        _FIT_SECONDS.observe(fit_seconds, method=job.method)
+        _logger.debug("fit profile", extra={"profile": profile.to_dict()})
         model = ReleasedModel.from_synthesizer(synthesizer)
         record = self.registry.put(
             model,
             dataset_id=job.dataset_id,
             method=job.method,
-            extra={"k": job.k, "job_id": job.job_id},
+            extra={
+                "k": job.k,
+                "job_id": job.job_id,
+                "fit_seconds": round(fit_seconds, 6),
+                "parallel_backend": self.context.backend,
+                "parallel_workers": self.context.max_workers,
+                "fit_workers": self.config.fit_workers,
+            },
         )
         return record.model_id
 
@@ -227,7 +266,15 @@ class SynthesisService:
         if seed is not None and not isinstance(seed, int):
             raise ValidationError("seed must be an integer or null")
         rng = as_generator(seed)
+        started = time.perf_counter()
         synthetic = model.sample(n, rng=rng)
+        elapsed = time.perf_counter() - started
+        _SAMPLE_SECONDS.observe(elapsed)
+        _SAMPLE_RECORDS.inc(n)
+        _logger.debug(
+            "sampled records",
+            extra={"model_id": model_id, "n": n, "seconds": round(elapsed, 6)},
+        )
         result = dataset_to_rows(synthetic)
         result.update(
             {
@@ -239,6 +286,54 @@ class SynthesisService:
             }
         )
         return result
+
+    # -- observability ----------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """JSON view of every registered metric (refreshes live gauges)."""
+        self._refresh_gauges()
+        return metrics.REGISTRY.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text-exposition view of the metrics registry."""
+        self._refresh_gauges()
+        return metrics.REGISTRY.render_prometheus()
+
+    def _refresh_gauges(self) -> None:
+        # Queue depth is scrape-time state, not event-time state: refresh
+        # it here so an idle-but-backed-up queue cannot go stale.
+        metrics.REGISTRY.gauge(
+            "dpcopula_fit_queue_depth",
+            "Fit jobs waiting in the worker queue (excludes the running job)",
+        ).set(self.worker.queue_depth())
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness/readiness document; ``healthy`` is the 200/503 verdict.
+
+        A service that cannot run fits (dead worker threads), cannot
+        journal privacy spends (read-only ledger) or cannot register
+        models (read-only models dir) is unhealthy: it would accept
+        requests it can never honor — or worse, fit without accounting.
+        """
+        worker_alive = self.worker.alive()
+        ledger_dir = self.config.ledger_path.parent
+        ledger_writable = os.access(
+            self.config.ledger_path
+            if self.config.ledger_path.exists()
+            else ledger_dir,
+            os.W_OK,
+        )
+        models_writable = os.access(self.config.models_dir, os.W_OK)
+        checks = {
+            "fit_worker_alive": worker_alive,
+            "ledger_writable": ledger_writable,
+            "models_dir_writable": models_writable,
+        }
+        return {
+            "healthy": all(checks.values()),
+            "checks": checks,
+            "queue_depth": self.worker.queue_depth(),
+        }
 
     # -- lifecycle --------------------------------------------------------
 

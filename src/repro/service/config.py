@@ -92,6 +92,12 @@ class ServiceConfig:
     parallel_workers:
         Worker budget for ``parallel_backend``; ``None`` uses the CPUs
         available to the server process.
+    log_level:
+        Structured-logging level for the ``dpcopula`` namespace
+        (``"debug"`` … ``"error"``, or ``"off"``/``None`` for silent).
+        The ``DPCOPULA_LOG`` environment variable overrides this, so an
+        operator can turn a deployment up to ``debug`` without a config
+        change.
     """
 
     data_dir: PathLike
@@ -99,6 +105,7 @@ class ServiceConfig:
     fit_workers: int = 1
     parallel_backend: str = "serial"
     parallel_workers: Optional[int] = None
+    log_level: Optional[str] = None
 
     @property
     def root(self) -> Path:

@@ -12,6 +12,8 @@ Endpoints
 Method    Path                            Meaning
 ========  ==============================  ==========================================
 GET       /health                         liveness + library version
+GET       /healthz                        readiness probe: 200 healthy / 503 not
+GET       /metrics                        Prometheus text (or JSON via Accept)
 GET       /datasets                       list uploaded dataset summaries
 POST      /datasets                       upload ``{"dataset_id", "csv"}``
 GET       /datasets/<id>                  inspect (shared with ``inspect --json``)
@@ -24,30 +26,51 @@ GET       /models/<id>                    one model record
 POST      /models/<id>/sample             draw records: ``{"n", "seed"}``
 ==========================================================================
 
-All request and response bodies are JSON (UTF-8).  Errors are
-``{"error": "<message>"}`` with a meaningful status code: 400 malformed,
-404 unknown id, 409 privacy budget refused, 405 wrong method.
+All request and response bodies are JSON (UTF-8) except ``/metrics``,
+which defaults to the Prometheus text exposition format and switches to
+the JSON snapshot when the request's ``Accept`` header asks for
+``application/json``.  Errors are ``{"error": "<message>"}`` with a
+meaningful status code: 400 malformed, 404 unknown id, 409 privacy
+budget refused, 405 wrong method.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
 
 from repro.dp.budget import BudgetExhaustedError
 from repro.service.app import SynthesisService
 from repro.service.errors import ServiceError
+from repro.telemetry import bind_context, get_logger, metrics
 
 __all__ = ["build_server", "SynthesisRequestHandler"]
+
+_logger = get_logger("service.http")
+
+_REQUESTS_TOTAL = metrics.REGISTRY.counter(
+    "dpcopula_http_requests_total",
+    "HTTP requests served, by method/route/status",
+)
 
 #: Uploads above this size are refused outright (64 MiB of CSV text).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+
+class PlainText(str):
+    """Handler return type that is sent verbatim instead of JSON-encoded."""
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+
 _ID = r"(?P<id>[A-Za-z0-9._-]+)"
 _ROUTES = [
     ("GET", re.compile(r"^/health$"), "health"),
+    ("GET", re.compile(r"^/healthz$"), "healthz"),
+    ("GET", re.compile(r"^/metrics$"), "metrics"),
     ("GET", re.compile(r"^/datasets$"), "list_datasets"),
     ("POST", re.compile(r"^/datasets$"), "upload_dataset"),
     ("GET", re.compile(rf"^/datasets/{_ID}$"), "inspect_dataset"),
@@ -78,9 +101,20 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(self, status: int, payload: Any) -> None:
+        if isinstance(payload, PlainText):
+            self._send_text(status, payload)
+            return
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, payload: PlainText) -> None:
+        body = str(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", payload.content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -99,29 +133,49 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        matched_path = False
-        for route_method, pattern, name in _ROUTES:
-            match = pattern.match(path)
-            if not match:
-                continue
-            matched_path = True
-            if route_method != method:
-                continue
-            handler = getattr(self, f"_handle_{name}")
-            try:
-                status, payload = handler(match.groupdict().get("id"))
-            except ServiceError as exc:
-                status, payload = exc.status, {"error": exc.message}
-            except BudgetExhaustedError as exc:
-                status, payload = 409, {"error": str(exc)}
-            except Exception as exc:  # pragma: no cover - defensive
-                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        # Every request gets a request id bound into the logging context,
+        # so all log lines a handler (or the service underneath) emits
+        # carry it; clients get it back for support correlation.
+        request_id = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:12]
+        with bind_context(request_id=request_id):
+            matched_path = False
+            for route_method, pattern, name in _ROUTES:
+                match = pattern.match(path)
+                if not match:
+                    continue
+                matched_path = True
+                if route_method != method:
+                    continue
+                handler = getattr(self, f"_handle_{name}")
+                try:
+                    status, payload = handler(match.groupdict().get("id"))
+                except ServiceError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except BudgetExhaustedError as exc:
+                    status, payload = 409, {"error": str(exc)}
+                except Exception as exc:  # pragma: no cover - defensive
+                    # The client gets the one-liner; the log keeps the
+                    # traceback that used to vanish with it.
+                    _logger.exception(
+                        "unhandled request error",
+                        extra={"method": method, "path": path},
+                    )
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                _REQUESTS_TOTAL.inc(method=method, route=name, status=str(status))
+                _logger.debug(
+                    "request served",
+                    extra={"method": method, "path": path, "status": status},
+                )
+                self._send_json(status, payload)
+                return
+            if matched_path:
+                status, payload = 405, {
+                    "error": f"method {method} not allowed on {path}"
+                }
+            else:
+                status, payload = 404, {"error": f"no route for {method} {path}"}
+            _REQUESTS_TOTAL.inc(method=method, route="<unrouted>", status=str(status))
             self._send_json(status, payload)
-            return
-        if matched_path:
-            self._send_json(405, {"error": f"method {method} not allowed on {path}"})
-        else:
-            self._send_json(404, {"error": f"no route for {method} {path}"})
 
     def do_GET(self) -> None:  # noqa: N802
         self._dispatch("GET")
@@ -139,6 +193,16 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
             "version": __version__,
             "epsilon_cap": self.service.config.epsilon_cap,
         }
+
+    def _handle_healthz(self, _: Optional[str]) -> Tuple[int, Any]:
+        document = self.service.healthz()
+        return (200 if document["healthy"] else 503), document
+
+    def _handle_metrics(self, _: Optional[str]) -> Tuple[int, Any]:
+        accept = self.headers.get("Accept", "")
+        if "application/json" in accept:
+            return 200, self.service.metrics_snapshot()
+        return 200, PlainText(self.service.metrics_text())
 
     def _handle_list_datasets(self, _: Optional[str]) -> Tuple[int, Any]:
         return 200, {"datasets": self.service.list_datasets()}

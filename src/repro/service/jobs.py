@@ -29,7 +29,24 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.telemetry import bind_context, get_logger, metrics
+
 __all__ = ["FitJob", "FitWorker", "JobStatus"]
+
+_logger = get_logger("service.jobs")
+
+_QUEUE_DEPTH = metrics.REGISTRY.gauge(
+    "dpcopula_fit_queue_depth",
+    "Fit jobs waiting in the worker queue (excludes the running job)",
+)
+_JOBS_TOTAL = metrics.REGISTRY.counter(
+    "dpcopula_fit_jobs_total",
+    "Finished fit jobs, by outcome (label: status)",
+)
+_FIT_ERRORS = metrics.REGISTRY.counter(
+    "dpcopula_fit_errors_total",
+    "Failed fits, by pipeline stage (label: stage)",
+)
 
 
 class JobStatus:
@@ -120,7 +137,25 @@ class FitWorker:
                 raise ValueError(f"job id {job.job_id!r} already submitted")
             self._jobs[job.job_id] = job
         self._queue.put(job)
+        _QUEUE_DEPTH.set(self._queue.qsize())
+        _logger.info(
+            "fit job queued",
+            extra={
+                "job_id": job.job_id,
+                "dataset": job.dataset_id,
+                "method": job.method,
+                "epsilon": job.epsilon,
+            },
+        )
         return job
+
+    def queue_depth(self) -> int:
+        """Jobs waiting to start (the running job is not counted)."""
+        return self._queue.qsize()
+
+    def alive(self) -> bool:
+        """Whether every pool thread is still draining the queue."""
+        return all(thread.is_alive() for thread in self._threads)
 
     def get(self, job_id: str) -> FitJob:
         with self._lock:
@@ -157,14 +192,39 @@ class FitWorker:
             if item is self._STOP:
                 return
             job: FitJob = item
+            _QUEUE_DEPTH.set(self._queue.qsize())
             job.status = JobStatus.RUNNING
             job.started_at = time.time()
-            try:
-                job.model_id = self._runner(job)
-            except Exception as exc:
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.status = JobStatus.FAILED
-            else:
-                job.status = JobStatus.DONE
-            finally:
-                job.finished_at = time.time()
+            with bind_context(job_id=job.job_id):
+                _logger.info(
+                    "fit job started",
+                    extra={"dataset": job.dataset_id, "method": job.method},
+                )
+                try:
+                    job.model_id = self._runner(job)
+                except Exception as exc:
+                    # The job record keeps the one-line summary for API
+                    # clients; the log carries the full traceback the
+                    # summary used to swallow.
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = JobStatus.FAILED
+                    _FIT_ERRORS.inc(stage="fit_job")
+                    _JOBS_TOTAL.inc(status=JobStatus.FAILED)
+                    _logger.exception(
+                        "fit job failed",
+                        extra={"dataset": job.dataset_id, "method": job.method},
+                    )
+                else:
+                    job.status = JobStatus.DONE
+                    _JOBS_TOTAL.inc(status=JobStatus.DONE)
+                    _logger.info(
+                        "fit job done",
+                        extra={
+                            "dataset": job.dataset_id,
+                            "method": job.method,
+                            "model_id": job.model_id,
+                            "seconds": round(time.time() - job.started_at, 6),
+                        },
+                    )
+                finally:
+                    job.finished_at = time.time()

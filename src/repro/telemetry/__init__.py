@@ -1,0 +1,61 @@
+"""Telemetry: structured logging, metrics, and span tracing.
+
+The observability layer for the whole pipeline — library fits, the
+parallel execution layer, and the long-running synthesis service — in
+three stdlib-only pieces:
+
+* :mod:`repro.telemetry.logs` — JSON structured logging under the
+  ``dpcopula`` namespace, correlation ids via contextvars, ``DPCOPULA_LOG``
+  environment override;
+* :mod:`repro.telemetry.metrics` — a dependency-free registry of
+  counters, gauges and bucketed histograms, snapshot-able as JSON and
+  renderable in Prometheus text format (served at ``GET /metrics``);
+* :mod:`repro.telemetry.tracing` — a span tracer
+  (``with trace.span("kendall_matrix", m=m):``) that is free when
+  disabled, flows across thread/process pool workers, and never
+  perturbs results.
+
+Everything is disabled or silent by default: importing the library (or
+running a fit) emits nothing until an entry point opts in.  See
+docs/OBSERVABILITY.md for the log schema, the metric catalogue and the
+span name reference.
+"""
+
+from repro.telemetry import metrics
+from repro.telemetry import tracing as trace
+from repro.telemetry.logs import (
+    JsonFormatter,
+    LOG_ENV_VAR,
+    bind_context,
+    configure_logging,
+    current_context,
+    get_logger,
+)
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import Span, render, span, trace_root
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "LOG_ENV_VAR",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "bind_context",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+    "metrics",
+    "render",
+    "span",
+    "trace",
+    "trace_root",
+]

@@ -1,0 +1,212 @@
+"""Structured JSON logging with contextvars-propagated correlation ids.
+
+Every log line the library emits is one JSON object on one line —
+machine-parseable by anything that reads NDJSON, greppable by a human.
+The schema is deliberately small and stable (tests pin it):
+
+``ts``
+    Unix epoch seconds (float) of the record.
+``level``
+    Lowercase level name (``debug`` … ``critical``).
+``logger``
+    Dotted logger name under the ``dpcopula`` namespace.
+``event``
+    The formatted log message.
+``request_id`` / ``job_id``
+    Correlation ids, present only when bound via :func:`bind_context`
+    (the HTTP layer binds a request id per request, the fit worker binds
+    a job id per job).  They ride on :mod:`contextvars`, so they follow
+    the request through nested calls without threading arguments.
+``exc``
+    Full traceback text, present only when the record carries exception
+    info (``logger.exception(...)``).
+
+Any extra keyword passed via ``logger.info("event", extra={...})``
+lands as an additional top-level key (sorted, after the core keys).
+
+Logging is **off by default**: the ``dpcopula`` namespace gets a
+``NullHandler`` so importing the library never writes to a user's
+stderr.  It turns on either programmatically
+(:func:`configure_logging`, e.g. from ``ServiceConfig.log_level``) or
+via the ``DPCOPULA_LOG`` environment variable (``debug`` … ``error``,
+or ``off``), which takes precedence over any configured level so an
+operator can always crank a misbehaving deployment to ``debug``
+without touching code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import logging
+import os
+import sys
+from typing import Any, Dict, Iterator, Optional, TextIO
+
+__all__ = [
+    "JsonFormatter",
+    "LOG_ENV_VAR",
+    "bind_context",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+]
+
+#: Environment override for the log level; beats any configured value.
+LOG_ENV_VAR = "DPCOPULA_LOG"
+
+_NAMESPACE = "dpcopula"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_OFF_VALUES = ("", "off", "none", "false", "0")
+
+_request_id: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "dpcopula_request_id", default=None
+)
+_job_id: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "dpcopula_job_id", default=None
+)
+
+#: LogRecord attributes that are plumbing, not user payload.
+_RESERVED_ATTRS = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``dpcopula`` namespace (``get_logger("service")``)."""
+    return logging.getLogger(f"{_NAMESPACE}.{name}" if name else _NAMESPACE)
+
+
+def current_context() -> Dict[str, str]:
+    """The correlation ids bound in the current execution context."""
+    out = {}
+    request_id = _request_id.get()
+    if request_id is not None:
+        out["request_id"] = request_id
+    job_id = _job_id.get()
+    if job_id is not None:
+        out["job_id"] = job_id
+    return out
+
+
+@contextlib.contextmanager
+def bind_context(
+    request_id: Optional[str] = None, job_id: Optional[str] = None
+) -> Iterator[None]:
+    """Bind correlation ids to every log line emitted inside the block."""
+    tokens = []
+    if request_id is not None:
+        tokens.append((_request_id, _request_id.set(str(request_id))))
+    if job_id is not None:
+        tokens.append((_job_id, _job_id.set(str(job_id))))
+    try:
+        yield
+    finally:
+        for var, token in reversed(tokens):
+            var.reset(token)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, core keys first, extras sorted after."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(current_context())
+        extras = {
+            key: value
+            for key, value in record.__dict__.items()
+            if key not in _RESERVED_ATTRS and not key.startswith("_")
+        }
+        for key in sorted(extras):
+            payload.setdefault(key, extras[key])
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def resolve_level(level: Optional[str] = None) -> Optional[str]:
+    """The effective level name: ``DPCOPULA_LOG`` beats ``level``.
+
+    Returns ``None`` when logging should stay off.  Raises
+    ``ValueError`` for an unrecognized explicit level; an unrecognized
+    *environment* value falls back to ``info`` (a typo in an env var
+    must never take a running service down).
+    """
+    env = os.environ.get(LOG_ENV_VAR)
+    if env is not None:
+        env = env.strip().lower()
+        if env in _OFF_VALUES:
+            return None
+        return env if env in _LEVELS else "info"
+    if level is None:
+        return None
+    level = level.strip().lower()
+    if level in _OFF_VALUES:
+        return None
+    if level not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(set(_LEVELS))} or 'off'"
+        )
+    return level
+
+
+def configure_logging(
+    level: Optional[str] = None, stream: Optional[TextIO] = None
+) -> Optional[str]:
+    """(Re)configure the ``dpcopula`` namespace's JSON handler.
+
+    Idempotent: previous telemetry handlers are replaced, never
+    stacked, so calling this on every service start is safe.  Returns
+    the effective level name, or ``None`` when logging is off (the
+    namespace then keeps a ``NullHandler`` and stays silent).
+    """
+    root = logging.getLogger(_NAMESPACE)
+    for handler in list(root.handlers):
+        if getattr(handler, "_dpcopula_telemetry", False):
+            root.removeHandler(handler)
+    effective = resolve_level(level)
+    if effective is None:
+        if not root.handlers:
+            root.addHandler(logging.NullHandler())
+        # Drop back to the namespace defaults so disabled-by-config costs
+        # the same as never-configured: debug/info calls short-circuit on
+        # the inherited WARNING threshold before building a record, and
+        # propagation resumes (pytest's caplog depends on it).
+        root.setLevel(logging.NOTSET)
+        root.propagate = True
+        return None
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler._dpcopula_telemetry = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(_LEVELS[effective])
+    # Our handler owns the output; don't duplicate through the root logger.
+    root.propagate = False
+    return effective
+
+
+# A set DPCOPULA_LOG turns logging on for any entry point — CLI, tests,
+# notebooks — without requiring each to call configure_logging itself.
+if os.environ.get(LOG_ENV_VAR, "").strip().lower() not in _OFF_VALUES:
+    configure_logging()

@@ -46,13 +46,13 @@ class ServiceClient:
     def __init__(self, port: int):
         self.base = f"http://127.0.0.1:{port}"
 
-    def request(self, method: str, path: str, body=None):
+    def request(self, method: str, path: str, body=None, headers=None):
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         try:
             with urllib.request.urlopen(request, timeout=30) as response:
@@ -60,8 +60,27 @@ class ServiceClient:
         except urllib.error.HTTPError as error:
             return error.code, json.loads(error.read())
 
-    def get(self, path: str):
-        return self.request("GET", path)
+    def get_raw(self, path: str, headers=None):
+        """GET without JSON-decoding; returns (status, text, content_type)."""
+        request = urllib.request.Request(
+            self.base + path, method="GET", headers=headers or {}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return (
+                    response.status,
+                    response.read().decode("utf-8"),
+                    response.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as error:
+            return (
+                error.code,
+                error.read().decode("utf-8"),
+                error.headers.get("Content-Type", ""),
+            )
+
+    def get(self, path: str, headers=None):
+        return self.request("GET", path, headers=headers)
 
     def post(self, path: str, body=None):
         return self.request("POST", path, body if body is not None else {})

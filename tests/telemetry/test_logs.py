@@ -1,0 +1,157 @@
+"""Tests pinning the structured-logging JSON schema and configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import logs
+from repro.telemetry.logs import (
+    LOG_ENV_VAR,
+    bind_context,
+    configure_logging,
+    current_context,
+    get_logger,
+    resolve_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging(monkeypatch):
+    """Isolate each test: no env override, logging restored to off after."""
+    monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+    yield
+    monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+    configure_logging(None)
+
+
+def capture(level="debug"):
+    stream = io.StringIO()
+    configure_logging(level, stream=stream)
+    return stream
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestSchema:
+    def test_core_keys_and_order(self):
+        stream = capture()
+        get_logger("unit").info("something happened")
+        (record,) = lines(stream)
+        assert list(record)[:4] == ["ts", "level", "logger", "event"]
+        assert record["level"] == "info"
+        assert record["logger"] == "dpcopula.unit"
+        assert record["event"] == "something happened"
+        assert isinstance(record["ts"], float)
+
+    def test_extras_land_as_top_level_keys(self):
+        stream = capture()
+        get_logger("unit").info("fit done", extra={"m": 4, "seconds": 1.5})
+        (record,) = lines(stream)
+        assert record["m"] == 4
+        assert record["seconds"] == 1.5
+
+    def test_correlation_ids_appear_only_when_bound(self):
+        stream = capture()
+        logger = get_logger("unit")
+        logger.info("outside")
+        with bind_context(request_id="req1", job_id="job1"):
+            logger.info("inside")
+        outside, inside = lines(stream)
+        assert "request_id" not in outside and "job_id" not in outside
+        assert inside["request_id"] == "req1"
+        assert inside["job_id"] == "job1"
+
+    def test_bind_context_restores_on_exit(self):
+        with bind_context(request_id="outer"):
+            with bind_context(request_id="inner"):
+                assert current_context()["request_id"] == "inner"
+            assert current_context()["request_id"] == "outer"
+        assert current_context() == {}
+
+    def test_exceptions_carry_the_traceback(self):
+        stream = capture()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("unit").exception("fit failed")
+        (record,) = lines(stream)
+        assert record["event"] == "fit failed"
+        assert "RuntimeError: boom" in record["exc"]
+        assert "Traceback" in record["exc"]
+
+    def test_non_serializable_extras_are_stringified(self):
+        stream = capture()
+        get_logger("unit").info("x", extra={"obj": object()})
+        (record,) = lines(stream)
+        assert record["obj"].startswith("<object object")
+
+
+class TestConfiguration:
+    def test_off_by_default(self):
+        assert resolve_level(None) is None
+
+    def test_env_beats_configured_level(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "debug")
+        assert resolve_level("error") == "debug"
+
+    def test_env_off_silences_configured_level(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "off")
+        assert resolve_level("debug") is None
+
+    def test_unknown_env_value_falls_back_to_info(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "shouting")
+        assert resolve_level(None) == "info"
+
+    def test_unknown_explicit_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            resolve_level("shouting")
+
+    def test_reconfiguring_replaces_rather_than_stacks(self):
+        stream = capture("info")
+        stream2 = io.StringIO()
+        configure_logging("info", stream=stream2)
+        get_logger("unit").info("once")
+        assert stream.getvalue() == ""
+        assert len(lines(stream2)) == 1
+
+    def test_level_filtering(self):
+        stream = capture("warning")
+        logger = get_logger("unit")
+        logger.debug("quiet")
+        logger.info("quiet")
+        logger.warning("loud")
+        records = lines(stream)
+        assert [r["event"] for r in records] == ["loud"]
+
+    def test_off_resets_the_namespace_level(self):
+        capture("debug")
+        configure_logging("off")
+        root = logging.getLogger("dpcopula")
+        assert root.level == logging.NOTSET
+        assert not any(
+            getattr(h, "_dpcopula_telemetry", False) for h in root.handlers
+        )
+
+    def test_importing_the_library_emits_nothing(self):
+        # The namespace keeps a NullHandler when unconfigured, so no
+        # "No handlers could be found" warnings ever reach a user.
+        configure_logging(None)
+        root = logging.getLogger("dpcopula")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_service_config_level_flows_through(self, tmp_path):
+        from repro.service import ServiceConfig, SynthesisService
+
+        stream_err = io.StringIO()
+        service = SynthesisService(
+            ServiceConfig(data_dir=tmp_path / "data", log_level="off")
+        )
+        try:
+            assert stream_err.getvalue() == ""
+        finally:
+            service.close()
+        assert logs.resolve_level(None) is None

@@ -1,0 +1,181 @@
+"""Tests for span tracing: nesting, worker flow, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import BACKENDS, ExecutionContext
+from repro.stats.kendall import kendall_tau_matrix
+from repro.telemetry import trace
+from repro.telemetry.tracing import Span, call_collected, is_active, render
+
+
+def _square(task, shared):
+    return task * task
+
+
+class TestSpanBasics:
+    def test_inactive_span_is_a_no_op(self):
+        assert not is_active()
+        with trace.span("stage", m=4) as node:
+            assert node is None
+        assert not is_active()
+
+    def test_trace_root_activates_and_deactivates(self):
+        with trace.trace_root("run") as root:
+            assert is_active()
+        assert not is_active()
+        assert root.duration is not None and root.duration >= 0
+
+    def test_nesting_builds_the_tree_in_order(self):
+        with trace.trace_root("run") as root:
+            with trace.span("fit"):
+                with trace.span("margins"):
+                    pass
+                with trace.span("correlation"):
+                    pass
+            with trace.span("sampling"):
+                pass
+        assert [c.name for c in root.children] == ["fit", "sampling"]
+        assert [c.name for c in root.children[0].children] == [
+            "margins",
+            "correlation",
+        ]
+        fit = root.children[0]
+        assert fit.duration >= sum(c.duration for c in fit.children) * 0.5
+
+    def test_attributes_are_recorded(self):
+        with trace.trace_root("run") as root:
+            with trace.span("fit", method="kendall", n=100):
+                pass
+        assert root.children[0].attrs == {"method": "kendall", "n": 100}
+
+    def test_exception_marks_the_span_and_propagates(self):
+        with pytest.raises(RuntimeError):
+            with trace.trace_root("run") as root:
+                with trace.span("fit"):
+                    raise RuntimeError("boom")
+        (fit,) = root.children
+        assert fit.attrs["error"] == "RuntimeError"
+        assert fit.duration is not None
+
+    def test_nested_roots_compose(self):
+        with trace.trace_root("outer") as outer:
+            with trace.trace_root("inner"):
+                with trace.span("stage"):
+                    pass
+        (inner,) = outer.children
+        assert inner.name == "inner"
+        assert inner.children[0].name == "stage"
+
+    def test_find_walks_the_whole_tree(self):
+        with trace.trace_root("run") as root:
+            with trace.span("a"):
+                with trace.span("target"):
+                    pass
+            with trace.span("target"):
+                pass
+        assert len(root.find("target")) == 2
+
+    def test_export_round_trip(self):
+        with trace.trace_root("run") as root:
+            with trace.span("fit", m=4):
+                pass
+        clone = Span.from_dict(root.to_dict())
+        assert clone.to_dict() == root.to_dict()
+
+    def test_call_collected_exports_a_plain_dict(self):
+        result, exported = call_collected("chunk", lambda: 42, tasks=1)
+        assert result == 42
+        assert exported["name"] == "chunk"
+        assert exported["attrs"] == {"tasks": 1}
+        assert exported["duration"] >= 0
+
+    def test_attach_grafts_under_the_active_span(self):
+        _, exported = call_collected("chunk", lambda: None)
+        with trace.trace_root("run") as root:
+            trace.attach(exported)
+        assert root.children[0].name == "chunk"
+        # Attaching outside a trace is a silent no-op.
+        trace.attach(exported)
+
+    def test_render_formats_a_nested_tree(self):
+        with trace.trace_root("run", method="kendall") as root:
+            with trace.span("fit"):
+                pass
+        text = render(root)
+        first, second = text.splitlines()
+        assert first.startswith("run [method=kendall]")
+        assert second.startswith("  fit")
+        assert second.strip().endswith("s")
+
+
+class TestSpansAcrossBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_map_tasks_results_identical_with_tracing_on(self, backend):
+        context = ExecutionContext(backend, max_workers=2)
+        tasks = list(range(16))
+        plain = context.map_tasks(_square, tasks)
+        with trace.trace_root("run"):
+            traced = context.map_tasks(_square, tasks)
+        assert traced == plain
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_map_tasks_span_tree_shape(self, backend):
+        context = ExecutionContext(backend, max_workers=2)
+        with trace.trace_root("run") as root:
+            context.map_tasks(_square, list(range(8)))
+        (map_span,) = root.children
+        assert map_span.name == "parallel.map_tasks"
+        assert map_span.attrs["backend"] == backend
+        assert map_span.attrs["tasks"] == 8
+        if context.is_serial:
+            assert map_span.children == []
+        else:
+            chunks = map_span.children
+            assert all(c.name == "parallel.chunk" for c in chunks)
+            assert sum(c.attrs["tasks"] for c in chunks) == 8
+            assert all(c.duration is not None for c in chunks)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_kendall_matrix_bitwise_identical_with_tracing(self, backend):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 50, size=(500, 5)).astype(float)
+        serial = kendall_tau_matrix(values)
+        context = ExecutionContext(backend, max_workers=2)
+        with trace.trace_root("run") as root:
+            traced = kendall_tau_matrix(values, context=context)
+        np.testing.assert_array_equal(serial, traced)
+        assert root.find("parallel.map_tasks"), "fan-out span missing"
+
+    def test_fit_profile_covers_the_pipeline_stages(self, small_dataset):
+        from repro.core.dpcopula import DPCopulaKendall
+
+        synthesizer = DPCopulaKendall(epsilon=1.0, rng=0)
+        with trace.trace_root("run") as root:
+            synthesizer.fit(small_dataset)
+            synthesizer.sample(100)
+        for stage in ("fit", "margins", "correlation", "sampling"):
+            assert root.find(stage), f"missing span {stage!r}"
+
+    def test_tracing_never_perturbs_fit_randomness(self, small_dataset):
+        from repro.core.dpcopula import DPCopulaKendall
+
+        plain = DPCopulaKendall(epsilon=1.0, rng=123)
+        plain.fit(small_dataset)
+        untraced = plain.sample(150)
+
+        traced_synth = DPCopulaKendall(epsilon=1.0, rng=123)
+        with trace.trace_root("run"):
+            traced_synth.fit(small_dataset)
+            traced = traced_synth.sample(150)
+        np.testing.assert_array_equal(untraced.values, traced.values)
+
+    def test_stage_histogram_is_fed(self):
+        from repro.telemetry.metrics import REGISTRY
+
+        histogram = REGISTRY.get("dpcopula_stage_seconds")
+        before = histogram.count(stage="unit_stage")
+        with trace.trace_root("unit_root"):
+            with trace.span("unit_stage"):
+                pass
+        assert histogram.count(stage="unit_stage") == before + 1

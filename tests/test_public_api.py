@@ -66,6 +66,10 @@ PUBLIC_MODULES = [
     "repro.service.registry",
     "repro.service.serializers",
     "repro.stats",
+    "repro.telemetry",
+    "repro.telemetry.logs",
+    "repro.telemetry.metrics",
+    "repro.telemetry.tracing",
     "repro.stats.copula_math",
     "repro.stats.correlation",
     "repro.stats.distributions",

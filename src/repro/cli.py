@@ -30,13 +30,22 @@ Run the long-running synthesis service (upload datasets, fit models,
 sample over HTTP — see docs/SERVICE.md)::
 
     dpcopula serve --data-dir ./service-data --port 8639
+
+List, inspect or cancel the service's durable fit jobs (works offline
+against the same data directory — see docs/RELIABILITY.md)::
+
+    dpcopula jobs --data-dir ./service-data
+    dpcopula jobs --data-dir ./service-data --show 3f2a9b0c11de
+    dpcopula jobs --data-dir ./service-data --cancel 3f2a9b0c11de
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from typing import List, Optional
 
 from contextlib import nullcontext
@@ -180,6 +189,53 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    serve.add_argument(
+        "--max-queued-fits",
+        type=int,
+        default=32,
+        help="bound on waiting fit jobs; submissions past it get "
+        "429 + Retry-After (default 32; 0 disables the bound)",
+    )
+    serve.add_argument(
+        "--fit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per fit job, enforced cooperatively "
+        "at stage boundaries (default: no deadline)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-connection socket timeout for HTTP requests "
+        "(default 30; 0 disables)",
+    )
+
+    jobs = commands.add_parser(
+        "jobs",
+        help="list, inspect or cancel the service's durable fit jobs "
+        "(see docs/RELIABILITY.md)",
+    )
+    jobs.add_argument(
+        "--data-dir",
+        required=True,
+        help="the serve data directory whose job journal to read",
+    )
+    jobs.add_argument(
+        "--show", metavar="JOB_ID", default=None, help="print one job's full record"
+    )
+    jobs.add_argument(
+        "--cancel",
+        metavar="JOB_ID",
+        default=None,
+        help="request cooperative cancellation (takes effect before the "
+        "job starts or at its next stage boundary)",
+    )
+    jobs.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -308,6 +364,9 @@ def _serve(args) -> int:
             parallel_backend=args.parallel_backend,
             parallel_workers=args.parallel_workers,
             log_level=args.log_level,
+            max_queued_fits=args.max_queued_fits or None,
+            fit_timeout_seconds=args.fit_timeout,
+            request_timeout_seconds=args.request_timeout or None,
         )
     )
     server = build_server(
@@ -324,6 +383,18 @@ def _serve(args) -> int:
         "endpoints: /health /healthz /metrics /datasets /fits /models "
         "— see docs/SERVICE.md and docs/OBSERVABILITY.md"
     )
+
+    def _drain(signum, frame):  # pragma: no cover - signal delivery timing
+        # Graceful drain: stop accepting, finish in-flight requests and
+        # the running fit, leave queued jobs journaled for the next
+        # start.  shutdown() must run off the serving thread.
+        print("\nSIGTERM: draining (queued jobs stay journaled)", file=sys.stderr)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -331,6 +402,54 @@ def _serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+    return 0
+
+
+def _jobs(args) -> int:
+    from pathlib import Path
+
+    from repro.resilience.journal import JobJournal
+
+    jobs_dir = Path(args.data_dir) / "jobs"
+    if not jobs_dir.exists():
+        print(f"no job journal under {args.data_dir!r}", file=sys.stderr)
+        return 1
+    journal = JobJournal(jobs_dir)
+    if args.cancel:
+        try:
+            record = journal.request_cancel(args.cancel)
+        except KeyError:
+            print(f"no journaled job with id {args.cancel!r}", file=sys.stderr)
+            return 1
+        if record.state == "queued":
+            record = journal.update(
+                args.cancel, state="cancelled", error="cancelled via CLI"
+            )
+        print(f"cancellation requested for {args.cancel} (state: {record.state})")
+        return 0
+    if args.show:
+        try:
+            record = journal.load(args.show)
+        except KeyError:
+            print(f"no journaled job with id {args.show!r}", file=sys.stderr)
+            return 1
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    records = journal.list()
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print("no journaled jobs")
+        return 0
+    print(f"{'JOB ID':<14} {'STATE':<10} {'DATASET':<16} {'METHOD':<10} "
+          f"{'EPSILON':<8} STAGES")
+    for record in records:
+        stages = ",".join(record.stages_done) or "-"
+        print(
+            f"{record.job_id:<14} {record.state:<10} {record.dataset_id:<16} "
+            f"{record.method:<10} {record.epsilon:<8g} {stages}"
+        )
     return 0
 
 
@@ -343,6 +462,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _resample(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "jobs":
+        return _jobs(args)
     return _inspect(args)
 
 

@@ -18,6 +18,7 @@ from repro.data.dataset import Dataset
 from repro.dp.budget import PrivacyBudget
 from repro.histograms.base import HistogramPublisher
 from repro.histograms.efpa import EFPAPublisher
+from repro.resilience.deadlines import current_deadline
 from repro.stats.ecdf import HistogramCDF
 from repro.telemetry import trace
 from repro.utils import RngLike, as_generator, check_positive
@@ -51,7 +52,10 @@ class DPMargins:
         per_margin = epsilon1 / m
         self._cdfs = []
         self._noisy_counts = []
+        deadline = current_deadline()
         for j in range(m):
+            if deadline is not None:
+                deadline.check(f"margin {dataset.schema[j].name!r}")
             with trace.span(
                 "margin",
                 attribute=dataset.schema[j].name,
@@ -63,6 +67,18 @@ class DPMargins:
                     budget.spend(per_margin, f"margin:{dataset.schema[j].name}")
                 self._noisy_counts.append(np.asarray(noisy, dtype=float))
                 self._cdfs.append(HistogramCDF(noisy))
+        return self
+
+    def restore(self, noisy_counts: Sequence[np.ndarray]) -> "DPMargins":
+        """Rebuild the margins from previously-released noisy counts.
+
+        Used by checkpoint resume (and released-model loading): the
+        counts are already DP releases, so reconstructing the CDFs from
+        them is pure post-processing — no budget is spent and no
+        generator is consumed.
+        """
+        self._noisy_counts = [np.asarray(c, dtype=float) for c in noisy_counts]
+        self._cdfs = [HistogramCDF(counts) for counts in self._noisy_counts]
         return self
 
     @property

@@ -48,6 +48,9 @@ from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.resilience import faults
+from repro.resilience.deadlines import Deadline, current_deadline
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.telemetry import get_logger, metrics, trace
 from repro.utils import RngLike, as_generator
 
@@ -79,6 +82,17 @@ PARALLEL_ENV_VAR = "DPCOPULA_PARALLEL"
 
 #: Entropy words drawn from the caller's generator to key a spawn root.
 _ENTROPY_WORDS = 4
+
+#: Retry policy for pooled dispatch: a SIGKILLed/OOM-killed worker
+#: surfaces as ``BrokenExecutor`` in the parent, the broken pool is
+#: torn down, and the whole fan-out is re-dispatched on a fresh pool.
+#: Safe because tasks are pure functions of (task, shared, per-task
+#: seed): a retried fan-out recomputes bitwise-identical results — the
+#: DP release is the same release, so retries cost no extra ε (see
+#: docs/RELIABILITY.md).  Tests may monkeypatch this module attribute.
+MAP_TASKS_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.1, multiplier=4.0, max_delay=2.0, jitter=0.1
+)
 
 
 def _available_cpus() -> int:
@@ -121,16 +135,45 @@ def _install_shared(shared: Any) -> None:
     _PROCESS_SHARED = shared
 
 
-def _run_chunk(fn: Callable[[Any, Any], Any], chunk: Sequence[Any]) -> List[Any]:
+def _run_tasks(
+    fn: Callable[[Any, Any], Any],
+    chunk: Sequence[Any],
+    shared: Any,
+    deadline: Optional[Deadline],
+) -> List[Any]:
+    """The shared chunk body: fault point, per-task deadline checks.
+
+    The ``parallel.chunk`` fault point runs *inside the worker*, which
+    is what lets the chaos suite SIGKILL a pool worker mid-fan-out; the
+    deadline check between tasks is the cooperative cancellation point
+    for hung/slow stages (a :class:`Deadline` pickles as its remaining
+    budget, so process workers enforce it against their own clocks).
+    """
+    faults.inject("parallel.chunk")
+    results = []
+    for task in chunk:
+        if deadline is not None:
+            deadline.check("parallel.map_tasks task")
+        results.append(fn(task, shared))
+    return results
+
+
+def _run_chunk(
+    fn: Callable[[Any, Any], Any],
+    chunk: Sequence[Any],
+    deadline: Optional[Deadline] = None,
+) -> List[Any]:
     """Execute one contiguous chunk of tasks against the installed payload."""
-    shared = _PROCESS_SHARED
-    return [fn(task, shared) for task in chunk]
+    return _run_tasks(fn, chunk, _PROCESS_SHARED, deadline)
 
 
 def _run_chunk_with_shared(
-    fn: Callable[[Any, Any], Any], chunk: Sequence[Any], shared: Any
+    fn: Callable[[Any, Any], Any],
+    chunk: Sequence[Any],
+    shared: Any,
+    deadline: Optional[Deadline] = None,
 ) -> List[Any]:
-    return [fn(task, shared) for task in chunk]
+    return _run_tasks(fn, chunk, shared, deadline)
 
 
 # Traced twins of the chunk runners: pool workers cannot see the
@@ -139,19 +182,27 @@ def _run_chunk_with_shared(
 # subtree home with the results.  Timing is the only difference — the
 # task bodies, their order, and their RNG streams are untouched, so
 # traced runs stay bitwise-identical to untraced ones.
-def _run_chunk_traced(fn: Callable[[Any, Any], Any], chunk: Sequence[Any]):
-    shared = _PROCESS_SHARED
+def _run_chunk_traced(
+    fn: Callable[[Any, Any], Any],
+    chunk: Sequence[Any],
+    deadline: Optional[Deadline] = None,
+):
     return trace.call_collected(
-        "parallel.chunk", lambda: [fn(task, shared) for task in chunk],
+        "parallel.chunk",
+        lambda: _run_tasks(fn, chunk, _PROCESS_SHARED, deadline),
         tasks=len(chunk),
     )
 
 
 def _run_chunk_with_shared_traced(
-    fn: Callable[[Any, Any], Any], chunk: Sequence[Any], shared: Any
+    fn: Callable[[Any, Any], Any],
+    chunk: Sequence[Any],
+    shared: Any,
+    deadline: Optional[Deadline] = None,
 ):
     return trace.call_collected(
-        "parallel.chunk", lambda: [fn(task, shared) for task in chunk],
+        "parallel.chunk",
+        lambda: _run_tasks(fn, chunk, shared, deadline),
         tasks=len(chunk),
     )
 
@@ -231,6 +282,7 @@ class ExecutionContext:
         tasks: Sequence[Any],
         shared: Any = None,
         chunk_size: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[Any]:
         """Apply ``fn(task, shared)`` to every task; results in task order.
 
@@ -241,10 +293,19 @@ class ExecutionContext:
 
         For the ``process`` backend ``fn`` must be a module-level
         function and tasks/shared/results must be picklable.
+
+        Resilience: an explicit ``deadline`` (or the ambient one from
+        :func:`repro.resilience.deadlines.deadline_scope`) is checked
+        cooperatively between tasks on every backend, raising
+        :class:`~repro.resilience.deadlines.DeadlineExceeded`; a fan-out
+        whose pool breaks (worker crash) is re-dispatched on a fresh
+        pool under :data:`MAP_TASKS_RETRY_POLICY`, bitwise identically.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        if deadline is None:
+            deadline = current_deadline()
         _TASKS_TOTAL.inc(len(tasks), backend=self.backend)
         _FANOUT_TASKS.observe(len(tasks), backend=self.backend)
         traced = trace.is_active()
@@ -255,7 +316,9 @@ class ExecutionContext:
             workers=1 if self.is_serial else self.max_workers,
         ):
             if self.is_serial:
-                return [fn(task, shared) for task in tasks]
+                if deadline is None:
+                    return [fn(task, shared) for task in tasks]
+                return _run_tasks(fn, tasks, shared, deadline)
             chunks = self._chunk(tasks, chunk_size)
             workers = min(self.max_workers, len(chunks))
             _logger.debug(
@@ -267,20 +330,40 @@ class ExecutionContext:
                     "workers": workers,
                 },
             )
-            if self.backend == "thread":
-                runner = _run_chunk_with_shared_traced if traced else _run_chunk_with_shared
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    chunked = list(
-                        pool.map(runner, [fn] * len(chunks), chunks, [shared] * len(chunks))
+
+            def dispatch() -> List[Any]:
+                deadlines = [deadline] * len(chunks)
+                if self.backend == "thread":
+                    runner = (
+                        _run_chunk_with_shared_traced
+                        if traced
+                        else _run_chunk_with_shared
                     )
-            else:
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        return list(
+                            pool.map(
+                                runner,
+                                [fn] * len(chunks),
+                                chunks,
+                                [shared] * len(chunks),
+                                deadlines,
+                            )
+                        )
                 runner = _run_chunk_traced if traced else _run_chunk
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_install_shared,
                     initargs=(shared,),
                 ) as pool:
-                    chunked = list(pool.map(runner, [fn] * len(chunks), chunks))
+                    return list(
+                        pool.map(runner, [fn] * len(chunks), chunks, deadlines)
+                    )
+
+            chunked = call_with_retry(
+                dispatch,
+                MAP_TASKS_RETRY_POLICY,
+                operation=f"parallel.map_tasks[{self.backend}]",
+            )
             if traced:
                 results = []
                 for chunk_results, exported in chunked:

@@ -1,0 +1,135 @@
+"""Deadlines and cooperative cancellation.
+
+A :class:`Deadline` is a wall-clock budget for a scope of work: a whole
+fit job, one HTTP request, one ``map_tasks`` fan-out.  Enforcement is
+*cooperative* — code at natural unit-of-work boundaries (between
+parallel tasks, between fit stages, between margins) calls
+:meth:`Deadline.check`, which raises :class:`DeadlineExceeded` once the
+budget is gone.  Nothing is pre-empted mid-computation: the granularity
+of cancellation is one task body, which keeps cancellation safe for
+code holding locks or file handles.
+
+Deadlines flow two ways:
+
+* **Implicitly** via :func:`deadline_scope` / :func:`current_deadline`
+  (a contextvar).  The fit worker installs the job deadline once and
+  every ``map_tasks`` call under it picks it up without plumbing.
+* **Explicitly across process pools.**  Contextvars do not cross
+  process boundaries, so a :class:`Deadline` pickles itself as its
+  *remaining* seconds at pickle time and rehydrates in the worker as a
+  fresh deadline with that much budget — each worker then enforces the
+  same remaining wall-clock budget against its own monotonic clock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Iterator, Optional
+
+from repro.telemetry import get_logger, metrics
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "current_deadline",
+    "deadline_scope",
+]
+
+_logger = get_logger("resilience.deadlines")
+
+_DEADLINES_EXCEEDED = metrics.REGISTRY.counter(
+    "dpcopula_deadline_exceeded_total",
+    "Deadline checks that found the budget exhausted (label: where)",
+)
+
+
+class DeadlineExceeded(RuntimeError):
+    """A cooperative cancellation point found its deadline expired."""
+
+    def __init__(self, message: str, overrun: float = 0.0):
+        super().__init__(message)
+        #: Seconds past the deadline at the moment of the failed check.
+        self.overrun = float(overrun)
+
+
+class Deadline:
+    """A fixed amount of wall-clock budget, measured on the monotonic clock.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*.  Must be finite and non-negative; use
+        ``None`` semantics (no deadline) by simply not creating one.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, seconds: float):
+        seconds = float(seconds)
+        if not seconds >= 0.0:  # also rejects NaN
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self._expires_at = time.monotonic() + seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` of wall clock from now."""
+        return cls(seconds)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def check(self, what: str = "work") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        overrun = time.monotonic() - self._expires_at
+        if overrun >= 0.0:
+            _DEADLINES_EXCEEDED.inc(where=what)
+            _logger.warning(
+                "deadline exceeded",
+                extra={"where": what, "overrun_seconds": round(overrun, 6)},
+            )
+            raise DeadlineExceeded(
+                f"deadline exceeded while waiting to run {what} "
+                f"({overrun:.3f}s past the budget)",
+                overrun=overrun,
+            )
+
+    # Pickling ships the *remaining* budget, not the monotonic expiry:
+    # monotonic clocks are per-process, so a worker process rebuilds an
+    # equivalent deadline against its own clock.  The dispatch latency
+    # between pickling and rehydration is forgiven — acceptable slack
+    # for cooperative enforcement.
+    def __reduce__(self):
+        return (Deadline, (self.remaining(),))
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_CURRENT: contextvars.ContextVar[Optional[Deadline]] = contextvars.ContextVar(
+    "dpcopula_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed for the current context, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as the ambient deadline for the ``with`` body.
+
+    ``None`` clears any inherited deadline for the scope (useful for
+    work that must not be cancelled, e.g. journal finalization).
+    """
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,204 @@
+"""Retry policies: exponential backoff with jitter, and a no-retry wall.
+
+Transient faults — a pool worker SIGKILLed by the OOM killer, a ledger
+append hitting a momentary I/O error — deserve a bounded number of
+retries with exponential backoff.  Privacy decisions do not: once the
+accountant has refused a charge (:class:`BudgetExhaustedError`), or a
+deadline has expired, retrying cannot make the operation legitimate.
+:func:`call_with_retry` encodes both halves:
+
+* the *schedule* — ``base * multiplier**attempt`` capped at ``max_delay``,
+  with multiplicative jitter so a fleet of retriers does not stampede;
+* the *wall* — :data:`NEVER_RETRY` exception types and exceptions
+  marked with :func:`mark_no_retry` at the raise site propagate
+  immediately, regardless of the ``retry_on`` classification.
+
+The ε-safety contract (docs/RELIABILITY.md): retries are only ever
+wrapped around operations that are either **ε-free** (registry writes,
+journal updates) or **bitwise idempotent** (re-running a seeded
+computation that re-derives identical noise from identical per-task
+seeds, so the retried release is the same release).  The accountant's
+charge itself is additionally idempotent by label, so no retry schedule
+can double-charge a job.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+from repro.dp.budget import BudgetExhaustedError
+from repro.resilience.deadlines import DeadlineExceeded, current_deadline
+from repro.telemetry import get_logger, metrics
+from repro.utils import RngLike, as_generator
+
+__all__ = [
+    "NEVER_RETRY",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "call_with_retry",
+    "is_retryable",
+    "mark_no_retry",
+]
+
+_logger = get_logger("resilience.retry")
+
+_RETRIES_TOTAL = metrics.REGISTRY.counter(
+    "dpcopula_retries_total",
+    "Retried operations after a transient failure (label: operation)",
+)
+
+#: Exception classes that typically indicate a transient fault worth
+#: retrying: a broken thread/process pool (worker crash) or an OS-level
+#: I/O hiccup.
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (BrokenExecutor, OSError)
+
+#: Exception classes that must never be retried, no matter how the
+#: caller classified retryable errors.  Budget refusals are privacy
+#: decisions; expired deadlines only get worse; interrupts belong to
+#: the operator.
+NEVER_RETRY: Tuple[Type[BaseException], ...] = (
+    BudgetExhaustedError,
+    DeadlineExceeded,
+    KeyboardInterrupt,
+    SystemExit,
+)
+
+_NO_RETRY_ATTR = "_dpcopula_no_retry"
+
+
+def mark_no_retry(exc: BaseException) -> BaseException:
+    """Flag ``exc`` so no retry wrapper will ever re-attempt it.
+
+    The raise-site escape hatch for the no-retry wall: code that knows a
+    failure is permanent (or that a retry would repeat an ε-spending
+    step) marks the exception before raising through a retry wrapper.
+    """
+    setattr(exc, _NO_RETRY_ATTR, True)
+    return exc
+
+
+def is_retryable(
+    exc: BaseException,
+    retry_on: Tuple[Type[BaseException], ...] = TRANSIENT_ERRORS,
+) -> bool:
+    """Whether ``exc`` may be retried under the ``retry_on`` classification."""
+    if getattr(exc, _NO_RETRY_ATTR, False):
+        return False
+    if isinstance(exc, NEVER_RETRY):
+        return False
+    return isinstance(exc, retry_on)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential-backoff schedule.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, including the first (``1`` disables retrying).
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per retry.
+    max_delay:
+        Cap on any single sleep.
+    jitter:
+        Multiplicative jitter fraction: each sleep is scaled by a
+        uniform draw from ``[1 - jitter, 1 + jitter]``.  ``0`` gives a
+        fully deterministic schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 4.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int) -> float:
+        """The un-jittered sleep before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.max_delay, self.base_delay * self.multiplier**attempt)
+
+    def delays(self, rng: RngLike = None) -> List[float]:
+        """Every sleep the policy would make, jittered with ``rng``.
+
+        Seeding ``rng`` makes the whole schedule deterministic, which is
+        how the chaos suite pins retry timing.
+        """
+        gen = as_generator(rng)
+        delays = []
+        for attempt in range(self.max_attempts - 1):
+            delay = self.backoff(attempt)
+            if self.jitter:
+                delay *= float(gen.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+            delays.append(delay)
+        return delays
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    operation: str,
+    retry_on: Tuple[Type[BaseException], ...] = TRANSIENT_ERRORS,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: RngLike = None,
+    on_retry: Optional[Callable[[BaseException, int], None]] = None,
+) -> Any:
+    """Run ``fn`` under ``policy``, retrying transient failures.
+
+    ``fn`` takes no arguments (close over state).  Non-retryable
+    exceptions — anything outside ``retry_on``, anything in
+    :data:`NEVER_RETRY`, anything marked with :func:`mark_no_retry` —
+    propagate immediately.  An ambient deadline (if one is installed)
+    is honored: no retry is attempted whose backoff sleep would not fit
+    in the remaining budget.
+    """
+    gen = as_generator(rng) if policy.jitter else None
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except BaseException as exc:
+            last = exc
+            if not is_retryable(exc, retry_on):
+                raise
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.backoff(attempt)
+            if gen is not None:
+                delay *= float(gen.uniform(1.0 - policy.jitter, 1.0 + policy.jitter))
+            deadline = current_deadline()
+            if deadline is not None and deadline.remaining() <= delay:
+                # Retrying into a dead deadline only delays the failure.
+                raise
+            _RETRIES_TOTAL.inc(operation=operation)
+            _logger.warning(
+                "transient failure; retrying",
+                extra={
+                    "operation": operation,
+                    "attempt": attempt + 1,
+                    "max_attempts": policy.max_attempts,
+                    "delay_seconds": round(delay, 6),
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            if on_retry is not None:
+                on_retry(exc, attempt)
+            if delay > 0:
+                sleep(delay)
+    raise last  # pragma: no cover - loop always returns or raises

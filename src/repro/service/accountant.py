@@ -11,6 +11,24 @@ keeps refusing fits that would push a dataset past its lifetime cap.
 
 Sampling never goes through the accountant: drawing records from a
 released model is post-processing and costs nothing (paper §3.3).
+
+Resilience semantics (see docs/RELIABILITY.md):
+
+* **Idempotency** — charges and refunds may carry an idempotency
+  ``key``; an entry whose key is already journaled is a no-op.  The
+  ledger itself is the deduplication source of truth, so a retried fit
+  (worker crash, registry hiccup) can re-issue its charge safely and a
+  restarted service can resume a journaled job without double-charging.
+* **Refunds** — negative entries (``"kind": "refund"``) exist for
+  exactly one case: a fit that failed *before drawing any noise*.  In
+  that window the data never influenced a releasable value, so undoing
+  the charge is provably safe.  Refunds after noise was drawn would
+  break the DP guarantee and are never issued by the service.
+* **Torn tails** — a crash mid-append can leave a truncated final
+  line.  Replay drops exactly that line (the charge was rolled back
+  in-memory when the append failed); corruption anywhere *else* still
+  refuses startup, because a ledger we cannot read in the middle is a
+  ledger we cannot trust.
 """
 
 from __future__ import annotations
@@ -69,43 +87,72 @@ class PrivacyAccountant:
         self._lock = threading.Lock()
         self._entries: List[Dict[str, Any]] = []
         self._budgets: Dict[str, PrivacyBudget] = {}
+        self._keys: set = set()
         self._replay()
 
     def _replay(self) -> None:
-        """Rebuild per-dataset ledgers from the journal file."""
+        """Rebuild per-dataset ledgers from the journal file.
+
+        A truncated *final* line (torn append from a crash mid-write) is
+        dropped with a warning — the matching in-memory charge was
+        rolled back when the append raised, so the entry never took
+        effect.  Torn tails are recognized by the missing trailing
+        newline (each append writes ``json + "\\n"`` in one call, so an
+        interrupted one never reaches the newline); a *complete* line
+        that fails to parse — anywhere, including last — aborts
+        startup.
+        """
         if not self.ledger_path.exists():
             return
-        per_dataset: Dict[str, List] = {}
-        with self.ledger_path.open() as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    dataset = str(entry["dataset"])
-                    epsilon = float(entry["epsilon"])
-                except (ValueError, KeyError, TypeError) as exc:
-                    # A ledger we cannot read is a ledger we cannot
-                    # trust; refusing to start is the only safe default.
-                    raise ValueError(
-                        f"privacy ledger {self.ledger_path} is corrupt at "
-                        f"line {lineno}: {exc}"
-                    ) from exc
-                self._entries.append(entry)
-                per_dataset.setdefault(dataset, []).append(
-                    (str(entry.get("label", "")), epsilon)
-                )
-        for dataset, spends in per_dataset.items():
-            budget = PrivacyBudget.replay(self.epsilon_cap, spends)
-            self._budgets[dataset] = budget
+        text = self.ledger_path.read_text()
+        torn_tail = bool(text) and not text.endswith("\n")
+        lines = text.split("\n")
+        while lines and not lines[-1].strip():
+            lines.pop()
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                dataset = str(entry["dataset"])
+                epsilon = float(entry["epsilon"])
+            except (ValueError, KeyError, TypeError) as exc:
+                if torn_tail and lineno == len(lines):
+                    _logger.warning(
+                        "dropping truncated trailing ledger line",
+                        extra={"ledger": str(self.ledger_path), "line": lineno},
+                    )
+                    break
+                # A ledger we cannot read is a ledger we cannot
+                # trust; refusing to start is the only safe default.
+                raise ValueError(
+                    f"privacy ledger {self.ledger_path} is corrupt at "
+                    f"line {lineno}: {exc}"
+                ) from exc
+            self._entries.append(entry)
+            if entry.get("key"):
+                self._keys.add(str(entry["key"]))
+            budget = self._budgets.setdefault(
+                dataset, PrivacyBudget(self.epsilon_cap)
+            )
+            label = str(entry.get("label", ""))
+            if entry.get("kind", "charge") == "refund":
+                budget.spent = max(0.0, budget.spent - epsilon)
+                budget.log.append((label, -epsilon))
+            else:
+                # Historic spends are facts: replay them verbatim even
+                # when they overdraw a since-lowered cap.
+                budget.spent += epsilon
+                budget.log.append((label, epsilon))
+        for dataset, budget in self._budgets.items():
             _EPS_SPENT.set(budget.spent, dataset=dataset)
             _EPS_REMAINING.set(budget.remaining, dataset=dataset)
-        if per_dataset:
+        if self._budgets:
             _logger.info(
                 "privacy ledger replayed",
                 extra={
-                    "datasets": len(per_dataset),
+                    "datasets": len(self._budgets),
                     "entries": len(self._entries),
                     "ledger": str(self.ledger_path),
                 },
@@ -131,16 +178,38 @@ class PrivacyAccountant:
                 budget = PrivacyBudget(self.epsilon_cap)
             return budget.can_spend(epsilon)
 
-    def charge(self, dataset_id: str, epsilon: float, label: str = "fit") -> float:
+    def has_key(self, key: str) -> bool:
+        """Whether an entry with idempotency ``key`` is already journaled."""
+        with self._lock:
+            return key in self._keys
+
+    def charge(
+        self,
+        dataset_id: str,
+        epsilon: float,
+        label: str = "fit",
+        key: Optional[str] = None,
+    ) -> float:
         """Charge ``epsilon`` against ``dataset_id`` and journal it.
 
         The in-memory spend and the journal append happen under one
         lock, so concurrent fit workers cannot jointly overdraw the
         cap.  Raises :class:`BudgetExhaustedError` (journaling nothing)
         when the charge does not fit.
+
+        With an idempotency ``key`` the charge is exactly-once: if the
+        key is already journaled the call returns 0.0 without spending
+        anything.  Retried fit attempts and journal-resumed jobs pass
+        their job id here so re-execution never double-charges.
         """
         check_positive("epsilon", epsilon)
         with self._lock:
+            if key is not None and key in self._keys:
+                _logger.info(
+                    "charge skipped: idempotency key already journaled",
+                    extra={"dataset": dataset_id, "key": key},
+                )
+                return 0.0
             budget = self._budgets.setdefault(
                 dataset_id, PrivacyBudget(self.epsilon_cap)
             )
@@ -164,6 +233,8 @@ class PrivacyAccountant:
                 "label": label,
                 "timestamp": time.time(),
             }
+            if key is not None:
+                entry["key"] = key
             try:
                 self._append(entry)
             except BaseException:
@@ -177,6 +248,8 @@ class PrivacyAccountant:
                 )
                 raise
             self._entries.append(entry)
+            if key is not None:
+                self._keys.add(key)
             _EPS_SPENT.set(budget.spent, dataset=dataset_id)
             _EPS_REMAINING.set(budget.remaining, dataset=dataset_id)
             _logger.info(
@@ -191,7 +264,62 @@ class PrivacyAccountant:
             )
             return float(epsilon)
 
+    def refund(
+        self,
+        dataset_id: str,
+        epsilon: float,
+        label: str = "refund",
+        key: Optional[str] = None,
+    ) -> float:
+        """Return ``epsilon`` to ``dataset_id`` and journal the refund.
+
+        **Only safe before any noise was drawn.**  The service issues a
+        refund solely when a charged fit failed while the synthesizer's
+        ``privacy_touched_`` flag was still ``False`` and the job
+        journal records no computed stage — i.e. no DP mechanism ever
+        saw the data under this charge, so the privacy loss is
+        provably zero (docs/RELIABILITY.md states the argument).  Like
+        :meth:`charge`, refunds are idempotent under ``key``.
+        """
+        check_positive("epsilon", epsilon)
+        with self._lock:
+            if key is not None and key in self._keys:
+                return 0.0
+            budget = self._budgets.setdefault(
+                dataset_id, PrivacyBudget(self.epsilon_cap)
+            )
+            entry = {
+                "dataset": dataset_id,
+                "epsilon": float(epsilon),
+                "label": label,
+                "kind": "refund",
+                "timestamp": time.time(),
+            }
+            if key is not None:
+                entry["key"] = key
+            self._append(entry)
+            budget.spent = max(0.0, budget.spent - float(epsilon))
+            budget.log.append((label, -float(epsilon)))
+            self._entries.append(entry)
+            if key is not None:
+                self._keys.add(key)
+            _EPS_SPENT.set(budget.spent, dataset=dataset_id)
+            _EPS_REMAINING.set(budget.remaining, dataset=dataset_id)
+            _logger.info(
+                "epsilon refunded",
+                extra={
+                    "dataset": dataset_id,
+                    "epsilon": float(epsilon),
+                    "label": label,
+                    "remaining": budget.remaining,
+                },
+            )
+            return float(epsilon)
+
     def _append(self, entry: Dict[str, Any]) -> None:
+        from repro.resilience import faults
+
+        faults.inject("ledger.append")
         self.ledger_path.parent.mkdir(parents=True, exist_ok=True)
         with self.ledger_path.open("a") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -215,6 +343,7 @@ class PrivacyAccountant:
                 {
                     "epsilon": e["epsilon"],
                     "label": e.get("label", ""),
+                    "kind": e.get("kind", "charge"),
                     "timestamp": e.get("timestamp"),
                 }
                 for e in self._entries

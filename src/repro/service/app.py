@@ -15,6 +15,13 @@ touching the data and are refused once a dataset's lifetime ε cap is
 reached, while sampling a registered model is pure post-processing
 (paper §3.3 / Algorithm 3) and is therefore unmetered, unlimited and
 safe to serve concurrently.
+
+Resilience (docs/RELIABILITY.md): every fit job is journaled durably
+(:class:`~repro.resilience.journal.JobJournal`), charged idempotently
+(the ledger deduplicates by job id, so retries and restarts can never
+double-charge), checkpointed per stage, and recovered on startup —
+interrupted jobs resume from their checkpoints and draw bitwise the
+noise an uninterrupted run would have drawn.
 """
 
 from __future__ import annotations
@@ -25,12 +32,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.dpcopula import DEFAULT_RATIO_K, DPCopulaKendall, DPCopulaMLE
 from repro.io import ReleasedModel
+from repro.resilience.journal import JobJournal, JobRecord
+from repro.resilience.retry import RetryPolicy, call_with_retry, mark_no_retry
 from repro.service.accountant import PrivacyAccountant
 from repro.service.config import ServiceConfig
 from repro.service.datasets import DatasetStore
 from repro.service.errors import BudgetRefusedError, NotFoundError, ValidationError
 from repro.parallel import ExecutionContext
-from repro.service.jobs import FitJob, FitWorker
+from repro.service.jobs import FitCheckpoint, FitJob, FitWorker
 from repro.service.registry import ModelRegistry
 from repro.service.serializers import dataset_summary, dataset_to_rows
 from repro.telemetry import configure_logging, get_logger, metrics, trace
@@ -66,6 +75,21 @@ FIT_METHODS = {
 #: from materializing an unbounded array in server memory.
 MAX_SAMPLE_N = 1_000_000
 
+#: Retry schedule for durable-state I/O around a fit (ledger appends,
+#: registry writes).  These are idempotent — the ledger dedupes by job
+#: key and the registry put is keyed by the deterministic model id — so
+#: retrying transient filesystem errors is always safe.
+IO_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.05, multiplier=4.0)
+
+_JOBS_RECOVERED = metrics.REGISTRY.counter(
+    "dpcopula_jobs_recovered_total",
+    "Journaled fit jobs re-enqueued at service startup",
+)
+_EPS_REFUNDED = metrics.REGISTRY.counter(
+    "dpcopula_epsilon_refunded_total",
+    "Epsilon refunded for fits that failed before drawing any noise",
+)
+
 
 def _key_error_message(exc: KeyError) -> str:
     """The message inside a ``KeyError`` (``str()`` would re-quote it)."""
@@ -82,13 +106,21 @@ class SynthesisService:
         self.datasets = DatasetStore(config.datasets_dir)
         self.registry = ModelRegistry(config.models_dir)
         self.accountant = PrivacyAccountant(config.ledger_path, config.epsilon_cap)
+        self.journal = JobJournal(config.jobs_dir)
         # One stateless execution context serves every fit worker; each
         # map_tasks call builds its own pool, so concurrent fits never
         # contend on shared executor state.
         self.context = ExecutionContext(
             backend=config.parallel_backend, max_workers=config.parallel_workers
         )
-        self.worker = FitWorker(self._execute_fit, max_workers=config.fit_workers)
+        self.worker = FitWorker(
+            self._execute_fit,
+            max_workers=config.fit_workers,
+            max_queue=config.max_queued_fits,
+            job_timeout=config.fit_timeout_seconds,
+            journal=self.journal,
+        )
+        self._recover_jobs()
 
     # -- datasets ---------------------------------------------------------
 
@@ -164,6 +196,11 @@ class SynthesisService:
                 f"{dataset_id!r}'s lifetime cap "
                 f"{self.accountant.epsilon_cap:.6g}"
             )
+        if seed is None:
+            # Resolve the seed *now* so it can be journaled: a resumed
+            # or retried attempt must replay the exact same RNG streams
+            # to release bitwise the same model for the same charge.
+            seed = int.from_bytes(os.urandom(8), "big")
         job = FitJob(
             job_id=FitWorker.new_job_id(),
             dataset_id=dataset_id,
@@ -172,7 +209,59 @@ class SynthesisService:
             k=k,
             seed=seed,
         )
-        return self.worker.submit(job).to_dict()
+        # Journal before enqueueing so the worker can never observe an
+        # unjournaled job; a queue-full refusal takes the record back.
+        self.journal.create(
+            JobRecord(
+                job_id=job.job_id,
+                dataset_id=dataset_id,
+                method=method,
+                epsilon=epsilon,
+                k=k,
+                seed=seed,
+            )
+        )
+        try:
+            return self.worker.submit(job).to_dict()
+        except BaseException:
+            self.journal.delete(job.job_id)
+            raise
+
+    def _recover_jobs(self) -> None:
+        """Re-enqueue journaled jobs a previous process left unfinished.
+
+        Jobs found ``queued`` or ``running`` are put back on the queue;
+        their fits resume from stage checkpoints and their charges are
+        deduplicated by the ledger, so recovery costs no extra ε.  Jobs
+        whose dataset has vanished are explicitly ``voided``.
+        """
+        for record in self.journal.recoverable():
+            if record.dataset_id not in self.datasets:
+                self.journal.void(
+                    record.job_id,
+                    f"dataset {record.dataset_id!r} no longer exists",
+                )
+                continue
+            job = FitJob(
+                job_id=record.job_id,
+                dataset_id=record.dataset_id,
+                method=record.method,
+                epsilon=record.epsilon,
+                k=record.k,
+                seed=record.seed,
+                submitted_at=record.submitted_at,
+            )
+            self.journal.update(record.job_id, state="queued")
+            self.worker.submit(job, force=True)
+            _JOBS_RECOVERED.inc()
+            _logger.info(
+                "recovered journaled fit job",
+                extra={
+                    "job_id": record.job_id,
+                    "dataset": record.dataset_id,
+                    "stages_done": record.stages_done,
+                },
+            )
 
     def _execute_fit(self, job: FitJob) -> str:
         """Worker entry point: charge the ledger, fit, register.
@@ -183,46 +272,185 @@ class SynthesisService:
         model's registry sidecar so ``GET /models/<id>`` (and the CLI's
         ``inspect --json``) can always answer *how was this released
         model produced?*
+
+        The method is a *resumable* unit of work: every effect is
+        idempotent keyed by the job id (ledger charge, stage
+        checkpoints, the deterministic ``m-<job_id>`` model id), so the
+        worker — or a restarted service — can safely run it again after
+        any interruption.
         """
-        dataset = self.datasets.get(job.dataset_id)
+        # Crash-after-register recovery: if a previous attempt got as
+        # far as registering the model, the release already happened
+        # and there is nothing left to do.
+        model_id = f"m-{job.job_id}"
+        if model_id in self.registry:
+            return model_id
+        try:
+            dataset = self.datasets.get(job.dataset_id)
+        except KeyError as exc:
+            # A missing dataset cannot heal; don't let retry layers or
+            # a restart loop chew on it.
+            raise mark_no_retry(
+                NotFoundError(_key_error_message(exc))
+            ) from exc
         # Charge before fitting: once the mechanisms below see the data
         # the privacy loss is real, so an overdraft must stop us here.
-        self.accountant.charge(
-            job.dataset_id, job.epsilon, label=f"fit:{job.method}:{job.job_id}"
+        # The idempotency key makes re-attempts free: the first journaled
+        # charge for this job id is the only one that ever counts.
+        call_with_retry(
+            lambda: self.accountant.charge(
+                job.dataset_id,
+                job.epsilon,
+                label=f"fit:{job.method}:{job.job_id}",
+                key=f"fit:{job.job_id}",
+            ),
+            IO_RETRY_POLICY,
+            operation="accountant.charge",
+        )
+        checkpoint = (
+            FitCheckpoint(self.journal, job.job_id)
+            if job.job_id in self.journal
+            else None
         )
         started = time.perf_counter()
-        with trace.trace_root("service.fit", method=job.method) as profile:
-            synthesizer = FIT_METHODS[job.method](
-                job.epsilon, k=job.k, rng=job.seed, context=self.context
-            )
-            synthesizer.fit(dataset)
+        synthesizer = FIT_METHODS[job.method](
+            job.epsilon, k=job.k, rng=job.seed, context=self.context
+        )
+        try:
+            with trace.trace_root("service.fit", method=job.method) as profile:
+                synthesizer.fit(dataset, checkpoint=checkpoint)
+        except BaseException as exc:
+            self._maybe_refund(job, synthesizer, exc)
+            raise
         fit_seconds = time.perf_counter() - started
         _FIT_SECONDS.observe(fit_seconds, method=job.method)
         _logger.debug("fit profile", extra={"profile": profile.to_dict()})
         model = ReleasedModel.from_synthesizer(synthesizer)
-        record = self.registry.put(
-            model,
-            dataset_id=job.dataset_id,
-            method=job.method,
-            extra={
-                "k": job.k,
-                "job_id": job.job_id,
-                "fit_seconds": round(fit_seconds, 6),
-                "parallel_backend": self.context.backend,
-                "parallel_workers": self.context.max_workers,
-                "fit_workers": self.config.fit_workers,
-            },
+        record = call_with_retry(
+            lambda: self.registry.put(
+                model,
+                dataset_id=job.dataset_id,
+                method=job.method,
+                model_id=model_id,
+                extra={
+                    "k": job.k,
+                    "job_id": job.job_id,
+                    "fit_seconds": round(fit_seconds, 6),
+                    "parallel_backend": self.context.backend,
+                    "parallel_workers": self.context.max_workers,
+                    "fit_workers": self.config.fit_workers,
+                },
+            ),
+            IO_RETRY_POLICY,
+            operation="registry.put",
         )
         return record.model_id
+
+    def _maybe_refund(self, job: FitJob, synthesizer, exc: BaseException) -> None:
+        """Refund the job's charge iff no noise was ever drawn for it.
+
+        The provably-safe window: ``privacy_touched_`` is still False
+        (this attempt ran no DP mechanism) *and* the journal records no
+        stage as ever computed (no earlier attempt did either).  Inside
+        it the data never influenced any releasable value, so the
+        charge corresponds to zero privacy loss.  Outside it — even for
+        a failed fit — the noise exists and the ε is genuinely spent;
+        refunding would be a privacy violation, so we never do.
+        """
+        if getattr(synthesizer, "privacy_touched_", True):
+            return
+        if job.job_id in self.journal:
+            record = self.journal.load(job.job_id)
+            if record.stages_done or record.stage_computed:
+                return
+        try:
+            refunded = self.accountant.refund(
+                job.dataset_id,
+                job.epsilon,
+                label=f"refund:{job.method}:{job.job_id}",
+                key=f"refund:{job.job_id}",
+            )
+        except OSError:
+            _logger.exception(
+                "refund failed; epsilon remains charged",
+                extra={"job_id": job.job_id, "dataset": job.dataset_id},
+            )
+            return
+        if refunded:
+            _EPS_REFUNDED.inc(refunded)
+            _logger.info(
+                "epsilon refunded: fit failed before any noise was drawn",
+                extra={
+                    "job_id": job.job_id,
+                    "dataset": job.dataset_id,
+                    "epsilon": job.epsilon,
+                    "cause": f"{type(exc).__name__}: {exc}",
+                },
+            )
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        """Request cooperative cancellation of a fit job.
+
+        Queued jobs are cancelled before they start; running jobs stop
+        at their next stage boundary.  Finished jobs are left untouched
+        (the flag is recorded but has no effect).  Returns the job view.
+        """
+        try:
+            job = self.worker.request_cancel(job_id)
+            return job.to_dict()
+        except KeyError:
+            pass
+        # Not in worker memory (e.g. journaled by a previous process):
+        # flag it in the journal so a restart won't resurrect it.
+        try:
+            record = self.journal.request_cancel(job_id)
+        except KeyError as exc:
+            raise NotFoundError(f"no fit job with id {job_id!r}") from exc
+        if record.state == "queued":
+            record = self.journal.update(
+                job_id, state="cancelled", error="cancelled before start"
+            )
+        return self._job_view(record)
+
+    @staticmethod
+    def _job_view(record: JobRecord) -> Dict[str, Any]:
+        """Map a journal record onto the API's job document shape."""
+        return {
+            "job_id": record.job_id,
+            "dataset_id": record.dataset_id,
+            "method": record.method,
+            "epsilon": record.epsilon,
+            "k": record.k,
+            "seed": record.seed,
+            "status": record.state,
+            "model_id": record.model_id,
+            "error": record.error,
+            "submitted_at": record.submitted_at,
+            "started_at": None,
+            "finished_at": None,
+            "cancel_requested": record.cancel_requested,
+        }
 
     def job_status(self, job_id: str) -> Dict[str, Any]:
         try:
             return self.worker.get(job_id).to_dict()
+        except KeyError:
+            pass
+        try:
+            return self._job_view(self.journal.load(job_id))
         except KeyError as exc:
-            raise NotFoundError(_key_error_message(exc)) from exc
+            raise NotFoundError(f"no fit job with id {job_id!r}") from exc
 
     def list_jobs(self) -> List[Dict[str, Any]]:
-        return [job.to_dict() for job in self.worker.list()]
+        """All known jobs: live worker state plus journal-only history."""
+        views = {job.job_id: job.to_dict() for job in self.worker.list()}
+        for record in self.journal.list():
+            if record.job_id not in views:
+                views[record.job_id] = self._job_view(record)
+        ordered = sorted(
+            views.values(), key=lambda v: v["submitted_at"], reverse=True
+        )
+        return ordered
 
     # -- models -----------------------------------------------------------
 
@@ -306,6 +534,7 @@ class SynthesisService:
             "dpcopula_fit_queue_depth",
             "Fit jobs waiting in the worker queue (excludes the running job)",
         ).set(self.worker.queue_depth())
+        self.journal.refresh_state_gauge()
 
     def healthz(self) -> Dict[str, Any]:
         """Liveness/readiness document; ``healthy`` is the 200/503 verdict.
@@ -324,10 +553,12 @@ class SynthesisService:
             os.W_OK,
         )
         models_writable = os.access(self.config.models_dir, os.W_OK)
+        jobs_writable = os.access(self.config.jobs_dir, os.W_OK)
         checks = {
             "fit_worker_alive": worker_alive,
             "ledger_writable": ledger_writable,
             "models_dir_writable": models_writable,
+            "jobs_dir_writable": jobs_writable,
         }
         return {
             "healthy": all(checks.values()),
@@ -337,6 +568,12 @@ class SynthesisService:
 
     # -- lifecycle --------------------------------------------------------
 
-    def close(self) -> None:
-        """Stop the fit worker (pending queued jobs are abandoned)."""
-        self.worker.close()
+    def close(self, drain: bool = False) -> None:
+        """Stop the fit worker.
+
+        ``drain=False`` (the default, and what SIGTERM uses) finishes
+        the jobs currently running and leaves still-queued jobs in the
+        durable journal, where the next start recovers them.
+        ``drain=True`` processes the whole queue first.
+        """
+        self.worker.close(drain=drain)

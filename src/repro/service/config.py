@@ -7,6 +7,8 @@ Everything the service persists lives under one data directory::
         datasets/<id>.json     dataset metadata sidecars
         models/<id>.npz        released DPCopula models (versioned NPZ)
         models/<id>.json       model metadata sidecars
+        jobs/<id>.json         durable fit-job journal records
+        jobs/<id>.<stage>.npz  fit stage checkpoints (resume-after-crash)
         ledger.jsonl           append-only privacy-spend journal
 
 The layout is deliberately plain files: a data curator can audit the
@@ -59,12 +61,34 @@ def atomic_write_bytes(path: Path, payload: bytes) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    ``os.replace`` is atomic against concurrent readers but the new
+    directory entry itself still lives in the page cache until the
+    directory inode is synced; without this a crash can roll the rename
+    back entirely.  Best-effort: some filesystems refuse ``O_RDONLY``
+    directory fds, which we treat as "already durable enough".
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 @dataclass(frozen=True)
@@ -98,6 +122,20 @@ class ServiceConfig:
         The ``DPCOPULA_LOG`` environment variable overrides this, so an
         operator can turn a deployment up to ``debug`` without a config
         change.
+    max_queued_fits:
+        Upper bound on fit jobs waiting in the worker queue.  Submissions
+        beyond it are refused with HTTP 429 + ``Retry-After`` instead of
+        growing the queue (and the journal) without bound.  ``None``
+        disables the bound.
+    fit_timeout_seconds:
+        Wall-clock deadline for a single fit job.  The fit checks it
+        cooperatively at stage and task boundaries and fails with
+        ``DeadlineExceeded`` when it lapses.  ``None`` (default) means
+        no deadline.
+    request_timeout_seconds:
+        Per-connection socket timeout for the HTTP server: a client that
+        stalls mid-request is disconnected instead of pinning a handler
+        thread forever.  ``None`` disables the timeout.
     """
 
     data_dir: PathLike
@@ -106,6 +144,9 @@ class ServiceConfig:
     parallel_backend: str = "serial"
     parallel_workers: Optional[int] = None
     log_level: Optional[str] = None
+    max_queued_fits: Optional[int] = 32
+    fit_timeout_seconds: Optional[float] = None
+    request_timeout_seconds: Optional[float] = 30.0
 
     @property
     def root(self) -> Path:
@@ -120,6 +161,10 @@ class ServiceConfig:
         return self.root / "models"
 
     @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    @property
     def ledger_path(self) -> Path:
         return self.root / "ledger.jsonl"
 
@@ -127,3 +172,4 @@ class ServiceConfig:
         """Create the data directory tree if it does not exist."""
         self.datasets_dir.mkdir(parents=True, exist_ok=True)
         self.models_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)

@@ -10,6 +10,7 @@ privacy-paid synthetic samples leave the store.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -17,7 +18,12 @@ from typing import Any, Dict, List, Optional
 
 from repro.data.dataset import Dataset
 from repro.io import load_dataset_csv
-from repro.service.config import PathLike, atomic_write_bytes, check_identifier
+from repro.service.config import (
+    PathLike,
+    atomic_write_bytes,
+    check_identifier,
+    fsync_directory,
+)
 from repro.service.serializers import dataset_summary
 
 __all__ = ["DatasetStore"]
@@ -46,13 +52,17 @@ class DatasetStore:
                 raise ValueError(f"dataset id {dataset_id!r} already exists")
             # Parse before persisting so malformed uploads leave no trace.
             staging = self.directory / f".{dataset_id}.upload.csv"
-            staging.write_text(csv_text)
+            with staging.open("w") as handle:
+                handle.write(csv_text)
+                handle.flush()
+                os.fsync(handle.fileno())
             try:
                 dataset = load_dataset_csv(staging)
             except Exception:
                 staging.unlink(missing_ok=True)
                 raise
             staging.replace(self._csv_path(dataset_id))
+            fsync_directory(self.directory)
             summary = dataset_summary(dataset, name=dataset_id)
             summary["uploaded_at"] = time.time()
             atomic_write_bytes(

@@ -37,3 +37,27 @@ class BudgetRefusedError(ServiceError):
 
     def __init__(self, message: str):
         super().__init__(409, message)
+
+
+class QueueFullError(ServiceError):
+    """The fit queue is at capacity; retry after backoff (429).
+
+    ``retry_after`` is a best-effort hint, surfaced by the HTTP layer
+    as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 30.0):
+        super().__init__(429, message)
+        self.retry_after = float(retry_after)
+
+
+class JobCancelledError(ServiceError):
+    """A fit job stopped because its cancellation flag was set (409).
+
+    Raised cooperatively at stage boundaries by the checkpoint the job
+    journal hands to ``fit()``; the worker maps it to the terminal
+    ``cancelled`` state rather than ``failed``.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(409, message)

@@ -21,6 +21,7 @@ GET       /datasets/<id>/budget           the accountant's view of the dataset
 GET       /fits                           list fit jobs
 POST      /fits                           submit ``{"dataset_id", "method", ...}``
 GET       /fits/<id>                      poll job status
+POST      /fits/<id>/cancel               request cooperative cancellation
 GET       /models                         list registered model records
 GET       /models/<id>                    one model record
 POST      /models/<id>/sample             draw records: ``{"n", "seed"}``
@@ -31,7 +32,14 @@ which defaults to the Prometheus text exposition format and switches to
 the JSON snapshot when the request's ``Accept`` header asks for
 ``application/json``.  Errors are ``{"error": "<message>"}`` with a
 meaningful status code: 400 malformed, 404 unknown id, 409 privacy
-budget refused, 405 wrong method.
+budget refused, 405 wrong method, 429 fit queue full (with a
+``Retry-After`` header carrying the backoff hint in seconds).
+
+Hardening: each connection runs under the config's
+``request_timeout_seconds`` socket timeout, so a stalled client cannot
+pin a handler thread; the serve CLI additionally installs a SIGTERM
+handler that stops accepting, finishes in-flight work and leaves queued
+jobs journaled for the next start (graceful drain).
 """
 
 from __future__ import annotations
@@ -54,6 +62,10 @@ _logger = get_logger("service.http")
 _REQUESTS_TOTAL = metrics.REGISTRY.counter(
     "dpcopula_http_requests_total",
     "HTTP requests served, by method/route/status",
+)
+_THROTTLED_TOTAL = metrics.REGISTRY.counter(
+    "dpcopula_http_throttled_total",
+    "Requests refused with 429 because the fit queue was full",
 )
 
 #: Uploads above this size are refused outright (64 MiB of CSV text).
@@ -78,6 +90,7 @@ _ROUTES = [
     ("GET", re.compile(r"^/fits$"), "list_fits"),
     ("POST", re.compile(r"^/fits$"), "submit_fit"),
     ("GET", re.compile(rf"^/fits/{_ID}$"), "fit_status"),
+    ("POST", re.compile(rf"^/fits/{_ID}/cancel$"), "cancel_fit"),
     ("GET", re.compile(r"^/models$"), "list_models"),
     ("GET", re.compile(rf"^/models/{_ID}$"), "model_info"),
     ("POST", re.compile(rf"^/models/{_ID}/sample$"), "sample_model"),
@@ -100,7 +113,12 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
         if isinstance(payload, PlainText):
             self._send_text(status, payload)
             return
@@ -108,6 +126,8 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -147,10 +167,18 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
                 if route_method != method:
                     continue
                 handler = getattr(self, f"_handle_{name}")
+                extra_headers: Optional[dict] = None
                 try:
                     status, payload = handler(match.groupdict().get("id"))
                 except ServiceError as exc:
                     status, payload = exc.status, {"error": exc.message}
+                    retry_after = getattr(exc, "retry_after", None)
+                    if retry_after is not None:
+                        # Shed load politely: tell the client when the
+                        # queue is worth trying again.
+                        extra_headers = {"Retry-After": f"{retry_after:g}"}
+                    if status == 429:
+                        _THROTTLED_TOTAL.inc()
                 except BudgetExhaustedError as exc:
                     status, payload = 409, {"error": str(exc)}
                 except Exception as exc:  # pragma: no cover - defensive
@@ -166,7 +194,7 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
                     "request served",
                     extra={"method": method, "path": path, "status": status},
                 )
-                self._send_json(status, payload)
+                self._send_json(status, payload, extra_headers)
                 return
             if matched_path:
                 status, payload = 405, {
@@ -234,6 +262,9 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
     def _handle_fit_status(self, job_id: str) -> Tuple[int, Any]:
         return 200, self.service.job_status(job_id)
 
+    def _handle_cancel_fit(self, job_id: str) -> Tuple[int, Any]:
+        return 202, self.service.cancel_job(job_id)
+
     def _handle_list_models(self, _: Optional[str]) -> Tuple[int, Any]:
         return 200, {"models": self.service.list_models()}
 
@@ -261,11 +292,20 @@ def build_server(
     actual port from ``server.server_address[1]``.  The caller owns the
     lifecycle: ``serve_forever()`` to run, then ``shutdown()`` /
     ``server_close()`` and ``service.close()`` to stop.
+
+    Each connection inherits the config's ``request_timeout_seconds``
+    as its socket timeout: a client that opens a connection and stalls
+    mid-request is disconnected instead of holding a handler thread
+    (and its memory) hostage indefinitely.
     """
     handler = type(
         "BoundSynthesisRequestHandler",
         (SynthesisRequestHandler,),
-        {"service": service, "quiet": quiet},
+        {
+            "service": service,
+            "quiet": quiet,
+            "timeout": service.config.request_timeout_seconds,
+        },
     )
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True

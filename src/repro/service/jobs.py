@@ -6,7 +6,7 @@ milliseconds.  Running fits inline in HTTP handler threads would let a
 single fit monopolize the request pool, so fits go through a dedicated
 worker: ``POST /fits`` enqueues and returns immediately with a job id,
 and clients poll ``GET /fits/<id>`` until the job reports ``done`` (with
-the registered model id) or ``failed`` (with the error).
+the registered model id), ``failed`` (with the error) or ``cancelled``.
 
 Jobs are processed by a bounded pool of worker threads (default one).
 Workers pull from a single FIFO queue, so jobs *start* — and charge the
@@ -18,6 +18,20 @@ individual charge atomic and the ε cap inviolable either way.  Each
 worker can additionally share one parallel
 :class:`~repro.parallel.ExecutionContext` for the fit itself — contexts
 are stateless, so a single context serves the whole pool.
+
+Resilience (see docs/RELIABILITY.md):
+
+* The queue is *bounded* (``max_queue``): submissions past the bound
+  are refused with :class:`~repro.service.errors.QueueFullError`, which
+  the HTTP layer maps to 429 + ``Retry-After``.
+* Every job is journaled to a durable
+  :class:`~repro.resilience.journal.JobJournal` (when one is attached),
+  so a restarted service re-enqueues interrupted jobs and resumes their
+  fits from per-stage checkpoints via :class:`FitCheckpoint`.
+* Jobs run under an optional wall-clock deadline (``job_timeout``),
+  enforced cooperatively at fit-stage and parallel-task boundaries.
+* Cancellation is cooperative too: the journal's ``cancel_requested``
+  flag is honored before a job starts and at each stage boundary.
 """
 
 from __future__ import annotations
@@ -29,9 +43,14 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+import numpy as np
+
+from repro.resilience.deadlines import Deadline, DeadlineExceeded, deadline_scope
+from repro.resilience.journal import JobJournal
+from repro.service.errors import JobCancelledError, QueueFullError
 from repro.telemetry import bind_context, get_logger, metrics
 
-__all__ = ["FitJob", "FitWorker", "JobStatus"]
+__all__ = ["FitCheckpoint", "FitJob", "FitWorker", "JobStatus"]
 
 _logger = get_logger("service.jobs")
 
@@ -47,6 +66,13 @@ _FIT_ERRORS = metrics.REGISTRY.counter(
     "dpcopula_fit_errors_total",
     "Failed fits, by pipeline stage (label: stage)",
 )
+_QUEUE_REFUSALS = metrics.REGISTRY.counter(
+    "dpcopula_fit_queue_refusals_total",
+    "Fit submissions refused because the worker queue was full",
+)
+
+#: Retry-After hint (seconds) returned with queue-full refusals.
+QUEUE_FULL_RETRY_AFTER = 5.0
 
 
 class JobStatus:
@@ -56,6 +82,9 @@ class JobStatus:
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
 
 
 @dataclass
@@ -74,6 +103,7 @@ class FitJob:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    cancel_requested: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -89,7 +119,46 @@ class FitJob:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_requested,
         }
+
+
+class FitCheckpoint:
+    """Journal-backed stage checkpoint store handed to ``fit()``.
+
+    Adapts the :class:`~repro.resilience.journal.JobJournal` to the
+    duck-typed ``load(stage)``/``save(stage, arrays)`` interface of
+    :meth:`repro.core.dpcopula.DPCopulaSynthesizer.fit`, and doubles as
+    the cooperative-cancellation poll point: every ``load`` (called at
+    each stage boundary) checks the journal's cancel flag first and
+    raises :class:`~repro.service.errors.JobCancelledError` when set.
+    """
+
+    def __init__(self, journal: JobJournal, job_id: str):
+        self.journal = journal
+        self.job_id = job_id
+
+    def load(self, stage: str) -> Optional[Dict[str, np.ndarray]]:
+        if self.journal.cancel_requested(self.job_id):
+            raise JobCancelledError(
+                f"fit job {self.job_id!r} cancelled before stage {stage!r}"
+            )
+        arrays = self.journal.load_stage(self.job_id, stage)
+        if arrays is not None:
+            _logger.info(
+                "fit stage restored from checkpoint",
+                extra={"job_id": self.job_id, "stage": stage},
+            )
+        return arrays
+
+    def save(self, stage: str, arrays: Dict[str, np.ndarray]) -> None:
+        self.journal.save_stage(self.job_id, stage, arrays)
+        self.journal.mark_stage_computed(self.job_id, stage)
+        record = self.journal.load(self.job_id)
+        if stage not in record.stages_done:
+            self.journal.update(
+                self.job_id, stages_done=record.stages_done + [stage]
+            )
 
 
 class FitWorker:
@@ -105,18 +174,42 @@ class FitWorker:
         Number of pool threads.  The default of 1 preserves strictly
         serial, submission-ordered processing (deterministic budget
         refusals); raise it to overlap independent fits.
+    max_queue:
+        Upper bound on *waiting* jobs; ``submit`` raises
+        :class:`QueueFullError` beyond it.  ``None`` disables the bound.
+    job_timeout:
+        Per-job wall-clock deadline in seconds, installed around the
+        runner with :func:`~repro.resilience.deadlines.deadline_scope`.
+        ``None`` means unlimited.
+    journal:
+        Optional durable :class:`~repro.resilience.journal.JobJournal`;
+        when attached, every lifecycle transition is persisted and jobs
+        survive process restarts.
     """
 
     _STOP = object()
 
-    def __init__(self, runner: Callable[[FitJob], str], max_workers: int = 1):
+    def __init__(
+        self,
+        runner: Callable[[FitJob], str],
+        max_workers: int = 1,
+        max_queue: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        journal: Optional[JobJournal] = None,
+    ):
         if int(max_workers) < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_queue is not None and int(max_queue) < 1:
+            raise ValueError(f"max_queue must be >= 1 or None, got {max_queue}")
         self._runner = runner
         self.max_workers = int(max_workers)
+        self.max_queue = int(max_queue) if max_queue is not None else None
+        self.job_timeout = job_timeout
+        self.journal = journal
         self._queue: "queue.Queue" = queue.Queue()
         self._jobs: Dict[str, FitJob] = {}
         self._lock = threading.Lock()
+        self._skip_pending = False
         self._threads = [
             threading.Thread(
                 target=self._drain, name=f"dpcopula-fit-worker-{i}", daemon=True
@@ -130,11 +223,34 @@ class FitWorker:
     def new_job_id() -> str:
         return uuid.uuid4().hex[:12]
 
-    def submit(self, job: FitJob) -> FitJob:
-        """Enqueue ``job`` and return it (status ``queued``)."""
+    def submit(self, job: FitJob, force: bool = False) -> FitJob:
+        """Enqueue ``job`` and return it (status ``queued``).
+
+        Raises :class:`QueueFullError` when the waiting-job bound is
+        reached: shedding load at submission keeps both the queue and
+        the durable journal from growing without limit under a
+        misbehaving client.  ``force`` bypasses the bound — used for
+        startup recovery, where every journaled job must re-enter the
+        queue regardless of its length.
+        """
         with self._lock:
             if job.job_id in self._jobs:
                 raise ValueError(f"job id {job.job_id!r} already submitted")
+            if (
+                not force
+                and self.max_queue is not None
+                and self._queue.qsize() >= self.max_queue
+            ):
+                _QUEUE_REFUSALS.inc()
+                _logger.warning(
+                    "fit submission refused: queue full",
+                    extra={"job_id": job.job_id, "max_queue": self.max_queue},
+                )
+                raise QueueFullError(
+                    f"fit queue is full ({self.max_queue} jobs waiting); "
+                    "retry later",
+                    retry_after=QUEUE_FULL_RETRY_AFTER,
+                )
             self._jobs[job.job_id] = job
         self._queue.put(job)
         _QUEUE_DEPTH.set(self._queue.qsize())
@@ -169,22 +285,66 @@ class FitWorker:
         jobs.sort(key=lambda j: j.submitted_at, reverse=True)
         return jobs
 
+    def request_cancel(self, job_id: str) -> FitJob:
+        """Flag a job for cooperative cancellation (queued or running)."""
+        job = self.get(job_id)
+        job.cancel_requested = True
+        if self.journal is not None and job.job_id in self.journal:
+            self.journal.request_cancel(job.job_id)
+        return job
+
     def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.02) -> FitJob:
         """Block until ``job_id`` finishes (test/CLI convenience)."""
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             job = self.get(job_id)
-            if job.status in (JobStatus.DONE, JobStatus.FAILED):
+            if job.status in JobStatus.TERMINAL:
                 return job
             time.sleep(poll)
         raise TimeoutError(f"fit job {job_id!r} did not finish in {timeout}s")
 
-    def close(self, timeout: float = 5.0) -> None:
-        """Stop every worker after its current job (idempotent)."""
+    def close(self, timeout: float = 5.0, drain: bool = False) -> None:
+        """Stop the pool (idempotent).
+
+        ``drain=False`` (the default) stops each worker after its
+        current job; still-queued jobs are *skipped in memory but left
+        journaled as queued*, so a restarted service re-enqueues and
+        runs them.  ``drain=True`` processes everything already queued
+        before stopping.
+        """
+        if not drain:
+            self._skip_pending = True
         for _ in self._threads:
             self._queue.put(self._STOP)
         for thread in self._threads:
             thread.join(timeout)
+
+    # -- worker loop ------------------------------------------------------
+
+    def _journal_update(self, job_id: str, **fields: Any) -> None:
+        """Best-effort journal transition; never kills the worker thread."""
+        if self.journal is None or job_id not in self.journal:
+            return
+        try:
+            self.journal.update(job_id, **fields)
+        except OSError:
+            _logger.exception(
+                "journal update failed", extra={"job_id": job_id}
+            )
+
+    def _cancelled_before_start(self, job: FitJob) -> bool:
+        if job.cancel_requested:
+            return True
+        if self.journal is not None and self.journal.cancel_requested(job.job_id):
+            job.cancel_requested = True
+            return True
+        return False
+
+    def _run_job(self, job: FitJob) -> str:
+        if self.job_timeout is None:
+            return self._runner(job)
+        with deadline_scope(Deadline.after(self.job_timeout)):
+            return self._runner(job)
 
     def _drain(self) -> None:
         while True:
@@ -193,21 +353,78 @@ class FitWorker:
                 return
             job: FitJob = item
             _QUEUE_DEPTH.set(self._queue.qsize())
+            if self._skip_pending:
+                # Undrained shutdown: leave the job journaled as queued
+                # so the next service start resumes it.
+                _logger.info(
+                    "skipping queued job at shutdown", extra={"job_id": job.job_id}
+                )
+                continue
+            if self._cancelled_before_start(job):
+                job.status = JobStatus.CANCELLED
+                job.error = "cancelled before start"
+                job.finished_at = time.time()
+                self._journal_update(
+                    job.job_id, state="cancelled", error=job.error
+                )
+                _JOBS_TOTAL.inc(status=JobStatus.CANCELLED)
+                _logger.info(
+                    "fit job cancelled before start", extra={"job_id": job.job_id}
+                )
+                continue
             job.status = JobStatus.RUNNING
             job.started_at = time.time()
+            if self.journal is not None and job.job_id in self.journal:
+                try:
+                    attempts = self.journal.load(job.job_id).attempts
+                except (KeyError, ValueError, OSError):
+                    attempts = 0
+                self._journal_update(
+                    job.job_id, state="running", attempts=attempts + 1
+                )
             with bind_context(job_id=job.job_id):
                 _logger.info(
                     "fit job started",
                     extra={"dataset": job.dataset_id, "method": job.method},
                 )
                 try:
-                    job.model_id = self._runner(job)
+                    job.model_id = self._run_job(job)
+                except JobCancelledError as exc:
+                    job.error = str(exc)
+                    job.status = JobStatus.CANCELLED
+                    self._journal_update(
+                        job.job_id, state="cancelled", error=job.error
+                    )
+                    _JOBS_TOTAL.inc(status=JobStatus.CANCELLED)
+                    _logger.info(
+                        "fit job cancelled",
+                        extra={"dataset": job.dataset_id, "method": job.method},
+                    )
+                except DeadlineExceeded as exc:
+                    job.error = f"DeadlineExceeded: {exc}"
+                    job.status = JobStatus.FAILED
+                    self._journal_update(
+                        job.job_id, state="failed", error=job.error
+                    )
+                    _FIT_ERRORS.inc(stage="deadline")
+                    _JOBS_TOTAL.inc(status=JobStatus.FAILED)
+                    _logger.warning(
+                        "fit job exceeded its deadline",
+                        extra={
+                            "dataset": job.dataset_id,
+                            "method": job.method,
+                            "timeout": self.job_timeout,
+                        },
+                    )
                 except Exception as exc:
                     # The job record keeps the one-line summary for API
                     # clients; the log carries the full traceback the
                     # summary used to swallow.
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.status = JobStatus.FAILED
+                    self._journal_update(
+                        job.job_id, state="failed", error=job.error
+                    )
                     _FIT_ERRORS.inc(stage="fit_job")
                     _JOBS_TOTAL.inc(status=JobStatus.FAILED)
                     _logger.exception(
@@ -216,6 +433,11 @@ class FitWorker:
                     )
                 else:
                     job.status = JobStatus.DONE
+                    self._journal_update(
+                        job.job_id, state="done", model_id=job.model_id
+                    )
+                    if self.journal is not None:
+                        self.journal.drop_stages(job.job_id)
                     _JOBS_TOTAL.inc(status=JobStatus.DONE)
                     _logger.info(
                         "fit job done",

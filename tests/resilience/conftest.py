@@ -1,0 +1,33 @@
+"""Shared fixtures for the resilience and chaos suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults(monkeypatch):
+    """Every test starts and ends with no fault plan armed.
+
+    Fault specs are configured per test (via ``faults.configure`` or the
+    env vars); this guard stops a forgotten plan from leaking into the
+    rest of the suite.
+    """
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.FAULTS_LATCH_ENV_VAR, raising=False)
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture
+def service_csv() -> str:
+    """A 200-record correlated 2-attribute dataset as CSV text."""
+    gen = np.random.default_rng(99)
+    latent = gen.multivariate_normal([0, 0], [[1, 0.6], [0.6, 1]], size=200)
+    a = np.clip(((latent[:, 0] + 3) / 6 * 30).astype(int), 0, 29)
+    b = np.clip(((latent[:, 1] + 3) / 6 * 40).astype(int), 0, 39)
+    return "a[30],b[40]\n" + "\n".join(f"{x},{y}" for x, y in zip(a, b)) + "\n"

@@ -1,0 +1,115 @@
+"""Deadline semantics, including propagation across execution backends."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.parallel import ExecutionContext
+from repro.resilience.deadlines import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        deadline = Deadline.after(10.0)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired()
+
+    def test_expired_deadline_raises_with_overrun(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("unit test")
+        assert excinfo.value.overrun >= 0.0
+        assert "unit test" in str(excinfo.value)
+
+    def test_unexpired_check_is_a_noop(self):
+        Deadline.after(60.0).check("fine")
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_invalid_budgets_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Deadline(bad)
+
+    def test_pickle_ships_remaining_budget(self):
+        # Monotonic clocks are per-process: the pickled form must carry
+        # remaining seconds, not an absolute expiry.
+        deadline = Deadline.after(5.0)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert isinstance(clone, Deadline)
+        assert abs(clone.remaining() - deadline.remaining()) < 0.5
+
+    def test_pickled_expired_deadline_stays_expired(self):
+        clone = pickle.loads(pickle.dumps(Deadline.after(0.0)))
+        assert clone.expired()
+
+
+class TestDeadlineScope:
+    def test_default_is_no_deadline(self):
+        assert current_deadline() is None
+
+    def test_scope_installs_and_restores(self):
+        deadline = Deadline.after(1.0)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            inner = Deadline.after(2.0)
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_clears_an_inherited_deadline(self):
+        with deadline_scope(Deadline.after(1.0)):
+            with deadline_scope(None):
+                assert current_deadline() is None
+
+
+def _identity(task, shared):
+    return task
+
+
+def _slow_identity(task, shared):
+    time.sleep(0.05)
+    return task
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+class TestMapTasksPropagation:
+    def test_expired_deadline_stops_the_fanout(self, backend):
+        context = ExecutionContext(backend=backend, max_workers=2)
+        with pytest.raises(DeadlineExceeded):
+            context.map_tasks(
+                _identity, list(range(8)), deadline=Deadline.after(0.0)
+            )
+
+    def test_ambient_deadline_is_picked_up(self, backend):
+        context = ExecutionContext(backend=backend, max_workers=2)
+        with deadline_scope(Deadline.after(0.0)):
+            with pytest.raises(DeadlineExceeded):
+                context.map_tasks(_identity, list(range(8)))
+
+    def test_generous_deadline_changes_nothing(self, backend):
+        context = ExecutionContext(backend=backend, max_workers=2)
+        result = context.map_tasks(
+            _identity, list(range(8)), deadline=Deadline.after(60.0)
+        )
+        assert result == list(range(8))
+
+    def test_mid_fanout_expiry_cancels_remaining_tasks(self, backend):
+        # 8 tasks x 50ms against a 120ms budget: the deadline lapses
+        # partway through, and the between-task check catches it.
+        context = ExecutionContext(backend=backend, max_workers=1)
+        with pytest.raises(DeadlineExceeded):
+            context.map_tasks(
+                _slow_identity,
+                list(range(8)),
+                deadline=Deadline.after(0.12),
+                chunk_size=8,
+            )

@@ -1,0 +1,136 @@
+"""The durable job journal: records, checkpoints, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.journal import JobJournal, JobRecord
+
+
+@pytest.fixture
+def journal(tmp_path) -> JobJournal:
+    return JobJournal(tmp_path / "jobs")
+
+
+def _record(job_id="job1", **overrides) -> JobRecord:
+    fields = dict(
+        job_id=job_id,
+        dataset_id="ds",
+        method="kendall",
+        epsilon=1.0,
+        k=8.0,
+        seed=42,
+    )
+    fields.update(overrides)
+    return JobRecord(**fields)
+
+
+class TestLifecycleRecords:
+    def test_create_load_roundtrip(self, journal):
+        journal.create(_record())
+        loaded = journal.load("job1")
+        assert loaded.state == "queued"
+        assert loaded.seed == 42
+        assert "job1" in journal
+
+    def test_duplicate_create_rejected(self, journal):
+        journal.create(_record())
+        with pytest.raises(ValueError, match="already journaled"):
+            journal.create(_record())
+
+    def test_update_persists_fields(self, journal):
+        journal.create(_record())
+        journal.update("job1", state="running", attempts=1)
+        reread = JobJournal(journal.directory).load("job1")
+        assert reread.state == "running"
+        assert reread.attempts == 1
+
+    def test_update_rejects_unknown_fields(self, journal):
+        journal.create(_record())
+        with pytest.raises(AttributeError):
+            journal.update("job1", bogus=True)
+
+    def test_load_unknown_job_raises(self, journal):
+        with pytest.raises(KeyError):
+            journal.load("ghost")
+
+    def test_delete_removes_record(self, journal):
+        journal.create(_record())
+        journal.delete("job1")
+        assert "job1" not in journal
+        journal.delete("job1")  # idempotent
+
+    def test_list_skips_unreadable_records(self, journal):
+        journal.create(_record())
+        (journal.directory / "broken.json").write_text("{not json")
+        assert [r.job_id for r in journal.list()] == ["job1"]
+
+    def test_mark_stage_computed_counts_computations(self, journal):
+        journal.create(_record())
+        journal.mark_stage_computed("job1", "margins")
+        journal.mark_stage_computed("job1", "margins")
+        assert journal.load("job1").stage_computed == {"margins": 2}
+
+
+class TestCancellation:
+    def test_request_cancel_sets_flag(self, journal):
+        journal.create(_record())
+        journal.request_cancel("job1")
+        assert journal.cancel_requested("job1")
+
+    def test_unknown_job_is_not_cancelled(self, journal):
+        assert not journal.cancel_requested("ghost")
+
+
+class TestStageCheckpoints:
+    def test_save_load_roundtrip(self, journal):
+        journal.create(_record())
+        arrays = {"margin_0": np.arange(5.0), "margin_1": np.ones(3)}
+        journal.save_stage("job1", "margins", arrays)
+        loaded = journal.load_stage("job1", "margins")
+        assert set(loaded) == set(arrays)
+        np.testing.assert_array_equal(loaded["margin_0"], arrays["margin_0"])
+
+    def test_absent_stage_is_none(self, journal):
+        assert journal.load_stage("job1", "margins") is None
+
+    def test_torn_checkpoint_is_treated_as_absent(self, journal):
+        journal.create(_record())
+        faults.configure("journal.save_stage:truncate:0.3")
+        journal.save_stage("job1", "margins", {"m": np.arange(10.0)})
+        faults.configure(None)
+        assert journal.load_stage("job1", "margins") is None
+
+    def test_drop_stages_deletes_checkpoints(self, journal):
+        journal.create(_record())
+        journal.save_stage("job1", "margins", {"m": np.arange(3.0)})
+        journal.save_stage("job1", "correlation", {"c": np.eye(2)})
+        journal.drop_stages("job1")
+        assert journal.load_stage("job1", "margins") is None
+        assert journal.load_stage("job1", "correlation") is None
+
+
+class TestRecovery:
+    def test_recoverable_returns_active_jobs_oldest_first(self, journal):
+        journal.create(_record("a", submitted_at=3.0))
+        journal.create(_record("b", submitted_at=1.0, state="running"))
+        journal.create(_record("c", submitted_at=2.0, state="done"))
+        assert [r.job_id for r in journal.recoverable()] == ["b", "a"]
+
+    def test_void_closes_out_a_job(self, journal):
+        journal.create(_record())
+        journal.void("job1", "dataset gone")
+        record = journal.load("job1")
+        assert record.state == "voided"
+        assert record.error == "dataset gone"
+        assert journal.recoverable() == []
+
+    def test_records_are_valid_json_on_disk(self, journal):
+        journal.create(_record())
+        payload = json.loads((journal.directory / "job1.json").read_text())
+        assert payload["job_id"] == "job1"
+        assert payload["state"] == "queued"

@@ -1,0 +1,157 @@
+"""Unit tests for the retry policy and the no-retry wall."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dp.budget import BudgetExhaustedError
+from repro.resilience.deadlines import Deadline, DeadlineExceeded, deadline_scope
+from repro.resilience.retry import (
+    NEVER_RETRY,
+    RetryPolicy,
+    call_with_retry,
+    is_retryable,
+    mark_no_retry,
+)
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert [policy.backoff(a) for a in range(5)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.5,
+            0.5,
+        ]
+
+    def test_delays_are_deterministic_for_a_seed(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.1)
+        assert policy.delays(rng=7) == policy.delays(rng=7)
+        assert policy.delays(rng=7) != policy.delays(rng=8)
+
+    def test_zero_jitter_matches_backoff_exactly(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert policy.delays() == [policy.backoff(a) for a in range(3)]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.2
+        )
+        for delay in policy.delays(rng=3):
+            assert 0.8 <= delay <= 1.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def _flaky(self, failures, exc_type=OSError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc_type(f"transient #{calls['n']}")
+            return "ok"
+
+        return fn, calls
+
+    def test_retries_transient_failures_until_success(self):
+        fn, calls = self._flaky(2)
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        result = call_with_retry(fn, policy, "op", sleep=sleeps.append)
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [policy.backoff(0), policy.backoff(1)]
+
+    def test_exhausted_attempts_raise_the_last_error(self):
+        fn, calls = self._flaky(10)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(OSError, match="transient #3"):
+            call_with_retry(fn, policy, "op", sleep=lambda _: None)
+        assert calls["n"] == 3
+
+    def test_unclassified_exceptions_propagate_immediately(self):
+        fn, calls = self._flaky(10, exc_type=ValueError)
+        with pytest.raises(ValueError):
+            call_with_retry(fn, RetryPolicy(max_attempts=5), "op")
+        assert calls["n"] == 1
+
+    @pytest.mark.parametrize(
+        "exc",
+        [BudgetExhaustedError("refused"), DeadlineExceeded("too late")],
+    )
+    def test_never_retry_wall_beats_retry_on(self, exc):
+        # Even when the caller explicitly classifies the type as
+        # retryable, privacy decisions and dead deadlines do not retry.
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            raise exc
+
+        with pytest.raises(type(exc)):
+            call_with_retry(
+                fn,
+                RetryPolicy(max_attempts=5, base_delay=0.0),
+                "op",
+                retry_on=(Exception,),
+            )
+        assert calls["n"] == 1
+
+    def test_mark_no_retry_stops_an_otherwise_retryable_error(self):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            raise mark_no_retry(OSError("permanent"))
+
+        with pytest.raises(OSError):
+            call_with_retry(fn, RetryPolicy(max_attempts=5, base_delay=0.0), "op")
+        assert calls["n"] == 1
+
+    def test_ambient_deadline_suppresses_pointless_retries(self):
+        fn, calls = self._flaky(10)
+        policy = RetryPolicy(max_attempts=5, base_delay=30.0, jitter=0.0)
+        with deadline_scope(Deadline.after(0.5)):
+            with pytest.raises(OSError, match="transient #1"):
+                call_with_retry(fn, policy, "op", sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_each_failure(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        call_with_retry(
+            fn,
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            "op",
+            sleep=lambda _: None,
+            on_retry=lambda exc, attempt: seen.append((type(exc).__name__, attempt)),
+        )
+        assert seen == [("OSError", 0), ("OSError", 1)]
+
+
+class TestIsRetryable:
+    def test_classification(self):
+        assert is_retryable(OSError("x"))
+        assert not is_retryable(ValueError("x"))
+        assert not is_retryable(BudgetExhaustedError("x"))
+        assert not is_retryable(mark_no_retry(OSError("x")))
+        for exc_type in NEVER_RETRY:
+            assert not is_retryable(exc_type("x"), retry_on=(BaseException,))

@@ -132,8 +132,10 @@ class TestEndToEnd:
             status, models = client2.get("/models")
             assert status == 200
             assert [m["model_id"] for m in models["models"]] == [model_id]
+            # Job history is durable: the finished job is still listed
+            # (from the journal), done, and was not refitted.
             status, jobs = client2.get("/fits")
-            assert jobs["jobs"] == []  # nothing refitted
+            assert [j["status"] for j in jobs["jobs"]] == ["done"]
 
             status, sample = client2.post(
                 f"/models/{model_id}/sample", {"n": 50, "seed": 5}

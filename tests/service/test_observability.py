@@ -36,6 +36,7 @@ class TestHealthz:
             "fit_worker_alive": True,
             "ledger_writable": True,
             "models_dir_writable": True,
+            "jobs_dir_writable": True,
         }
         assert body["queue_depth"] == 0
 

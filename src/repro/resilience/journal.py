@@ -265,6 +265,16 @@ class JobJournal:
             )
             return None
 
+    def has_stage_checkpoints(self, job_id: str) -> bool:
+        """Whether any persisted stage checkpoint exists for ``job_id``.
+
+        Used by the refund guard: a stage NPZ on disk is a durable DP
+        release even if the lifecycle record never got to mention it
+        (e.g. a crash tore the record update), so its presence must
+        veto a refund regardless of what the record claims.
+        """
+        return any(self.directory.glob(f"{job_id}.*.npz"))
+
     def drop_stages(self, job_id: str) -> None:
         """Delete a finished job's checkpoints (the model supersedes them)."""
         for path in self.directory.glob(f"{job_id}.*.npz"):

@@ -26,9 +26,10 @@ Resilience semantics (see docs/RELIABILITY.md):
   break the DP guarantee and are never issued by the service.
 * **Torn tails** — a crash mid-append can leave a truncated final
   line.  Replay drops exactly that line (the charge was rolled back
-  in-memory when the append failed); corruption anywhere *else* still
-  refuses startup, because a ledger we cannot read in the middle is a
-  ledger we cannot trust.
+  in-memory when the append failed) and repairs the file back to a
+  newline-terminated state so later appends start on a fresh line;
+  corruption anywhere *else* still refuses startup, because a ledger
+  we cannot read in the middle is a ledger we cannot trust.
 """
 
 from __future__ import annotations
@@ -96,16 +97,26 @@ class PrivacyAccountant:
         A truncated *final* line (torn append from a crash mid-write) is
         dropped with a warning — the matching in-memory charge was
         rolled back when the append raised, so the entry never took
-        effect.  Torn tails are recognized by the missing trailing
-        newline (each append writes ``json + "\\n"`` in one call, so an
-        interrupted one never reaches the newline); a *complete* line
-        that fails to parse — anywhere, including last — aborts
-        startup.
+        effect — and the file itself is repaired (truncated back to the
+        last complete line, or newline-terminated if the tail parsed),
+        so the next append starts on a fresh line instead of
+        concatenating onto the leftover fragment.  Torn tails are
+        recognized by the missing trailing newline (each append writes
+        ``json + "\\n"`` in one call, so an interrupted one never
+        reaches the newline); a *complete* line that fails to parse —
+        anywhere, including last — aborts startup.
+
+        Replay applies the same idempotency rule as :meth:`charge` /
+        :meth:`refund`: an entry whose key is already journaled is
+        skipped, so a retried append whose first attempt did reach disk
+        (e.g. an fsync error after a successful write) cannot
+        double-count on restart.
         """
         if not self.ledger_path.exists():
             return
         text = self.ledger_path.read_text()
         torn_tail = bool(text) and not text.endswith("\n")
+        dropped_tail = False
         lines = text.split("\n")
         while lines and not lines[-1].strip():
             lines.pop()
@@ -123,6 +134,7 @@ class PrivacyAccountant:
                         "dropping truncated trailing ledger line",
                         extra={"ledger": str(self.ledger_path), "line": lineno},
                     )
+                    dropped_tail = True
                     break
                 # A ledger we cannot read is a ledger we cannot
                 # trust; refusing to start is the only safe default.
@@ -130,9 +142,20 @@ class PrivacyAccountant:
                     f"privacy ledger {self.ledger_path} is corrupt at "
                     f"line {lineno}: {exc}"
                 ) from exc
+            key = str(entry["key"]) if entry.get("key") else None
+            if key is not None and key in self._keys:
+                _logger.warning(
+                    "skipping duplicate ledger entry on replay",
+                    extra={
+                        "ledger": str(self.ledger_path),
+                        "line": lineno,
+                        "key": key,
+                    },
+                )
+                continue
             self._entries.append(entry)
-            if entry.get("key"):
-                self._keys.add(str(entry["key"]))
+            if key is not None:
+                self._keys.add(key)
             budget = self._budgets.setdefault(
                 dataset, PrivacyBudget(self.epsilon_cap)
             )
@@ -145,6 +168,8 @@ class PrivacyAccountant:
                 # when they overdraw a since-lowered cap.
                 budget.spent += epsilon
                 budget.log.append((label, epsilon))
+        if torn_tail:
+            self._repair_torn_tail(text, dropped=dropped_tail)
         for dataset, budget in self._budgets.items():
             _EPS_SPENT.set(budget.spent, dataset=dataset)
             _EPS_REMAINING.set(budget.remaining, dataset=dataset)
@@ -315,6 +340,38 @@ class PrivacyAccountant:
                 },
             )
             return float(epsilon)
+
+    def _repair_torn_tail(self, text: str, dropped: bool) -> None:
+        """Restore the newline-terminated invariant after a torn append.
+
+        Replay tolerates a torn tail in memory, but ``_append`` opens
+        the file in append mode: left unrepaired, the first
+        post-recovery entry would concatenate onto the leftover
+        fragment, producing one merged line that ends with a newline —
+        unreadable, and no longer recognizable as torn — so the *next*
+        restart would refuse to start.  Repair before accepting writes:
+        truncate the dropped fragment away, or (when the tail parsed as
+        a complete entry that was replayed) complete it with the
+        newline its append never reached.
+        """
+        if dropped:
+            keep = text[: text.rfind("\n") + 1]
+            with self.ledger_path.open("r+b") as handle:
+                handle.truncate(len(keep.encode("utf-8")))
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            with self.ledger_path.open("a") as handle:
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        _logger.warning(
+            "repaired torn ledger tail",
+            extra={
+                "ledger": str(self.ledger_path),
+                "action": "truncated" if dropped else "newline-terminated",
+            },
+        )
 
     def _append(self, entry: Dict[str, Any]) -> None:
         from repro.resilience import faults

@@ -350,11 +350,13 @@ class SynthesisService:
         """Refund the job's charge iff no noise was ever drawn for it.
 
         The provably-safe window: ``privacy_touched_`` is still False
-        (this attempt ran no DP mechanism) *and* the journal records no
-        stage as ever computed (no earlier attempt did either).  Inside
-        it the data never influenced any releasable value, so the
-        charge corresponds to zero privacy loss.  Outside it — even for
-        a failed fit — the noise exists and the ε is genuinely spent;
+        (this attempt ran no DP mechanism), the journal records no
+        stage as ever computed (no earlier attempt did either), *and*
+        no stage checkpoint survives on disk (no earlier attempt left a
+        durable release the journal failed to record).  Inside it the
+        data never influenced any releasable value, so the charge
+        corresponds to zero privacy loss.  Outside it — even for a
+        failed fit — the noise exists and the ε is genuinely spent;
         refunding would be a privacy violation, so we never do.
         """
         if getattr(synthesizer, "privacy_touched_", True):
@@ -363,6 +365,13 @@ class SynthesisService:
             record = self.journal.load(job.job_id)
             if record.stages_done or record.stage_computed:
                 return
+        if self.journal.has_stage_checkpoints(job.job_id):
+            # A persisted stage NPZ is a durable DP release even when
+            # the lifecycle record never recorded the stage (a crash
+            # can tear the record update, or delete the record while
+            # checkpoints linger).  Noise exists on disk, so the ε is
+            # spent: never refund.
+            return
         try:
             refunded = self.accountant.refund(
                 job.dataset_id,

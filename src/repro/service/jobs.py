@@ -152,8 +152,14 @@ class FitCheckpoint:
         return arrays
 
     def save(self, stage: str, arrays: Dict[str, np.ndarray]) -> None:
-        self.journal.save_stage(self.job_id, stage, arrays)
+        # Journal the computation BEFORE persisting the noise-bearing
+        # checkpoint.  A crash between the two then leaves a journal
+        # that over-claims (stage marked computed, no checkpoint) —
+        # which only blocks a refund and recomputes the stage bitwise
+        # from its seed.  The opposite order would leave a durable DP
+        # release on disk that the refund guard cannot see.
         self.journal.mark_stage_computed(self.job_id, stage)
+        self.journal.save_stage(self.job_id, stage, arrays)
         record = self.journal.load(self.job_id)
         if stage not in record.stages_done:
             self.journal.update(
@@ -252,7 +258,11 @@ class FitWorker:
                     retry_after=QUEUE_FULL_RETRY_AFTER,
                 )
             self._jobs[job.job_id] = job
-        self._queue.put(job)
+            # Enqueue under the same lock as the bound check: concurrent
+            # submits could otherwise each pass the check before either
+            # puts, overshooting max_queue.  The queue is unbounded at
+            # the queue.Queue level, so this put never blocks.
+            self._queue.put(job)
         _QUEUE_DEPTH.set(self._queue.qsize())
         _logger.info(
             "fit job queued",

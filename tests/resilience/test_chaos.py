@@ -166,6 +166,43 @@ class TestRefundWindow:
         finally:
             service.close()
 
+    def test_orphaned_checkpoint_vetoes_the_refund(self, tmp_path, service_csv):
+        """Double-spend regression: a stage checkpoint the journal never
+        recorded (torn record write) must still block the refund.
+
+        Attempt 1 checkpoints the margins, then dies at the correlation
+        stage.  We erase the journal's stage bookkeeping — emulating a
+        crash between persisting the NPZ and journaling it — and
+        restart.  The resumed fit restores the margins from the
+        checkpoint (so ``privacy_touched_`` stays False) and fails
+        again pre-noise; every *record*-based refund guard passes, yet
+        the noisy margins durably exist, so the ε must stay charged.
+        """
+        faults.configure("fit.correlation:raise::1")
+        service = _service(tmp_path / "data")
+        try:
+            submitted = _submit(service, service_csv, seed=7)
+            job_id = submitted["job_id"]
+            assert service.worker.wait(job_id).status == "failed"
+            assert service.journal.has_stage_checkpoints(job_id)
+            # Emulate the torn journal write: checkpoint on disk, record
+            # claiming no stage was ever computed, job still in flight.
+            service.journal.update(
+                job_id, state="running", stages_done=[], stage_computed={}
+            )
+        finally:
+            service.close()
+
+        faults.configure("fit.correlation:raise::1")
+        revived = _service(tmp_path / "data")
+        try:
+            assert revived.worker.wait(job_id).status == "failed"
+            summary = revived.accountant.summary("ds")
+            assert summary["epsilon_spent"] == pytest.approx(0.5)
+            assert [c["kind"] for c in summary["charges"]] == ["charge"]
+        finally:
+            revived.close()
+
 
 class TestLedgerRetry:
     def test_transient_append_failure_charges_exactly_once(

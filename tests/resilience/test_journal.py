@@ -105,6 +105,18 @@ class TestStageCheckpoints:
         faults.configure(None)
         assert journal.load_stage("job1", "margins") is None
 
+    def test_has_stage_checkpoints_tracks_disk_state(self, journal):
+        journal.create(_record())
+        assert not journal.has_stage_checkpoints("job1")
+        journal.save_stage("job1", "margins", {"m": np.arange(3.0)})
+        # The lifecycle record says nothing about the stage, yet the
+        # checkpoint on disk must be visible: the refund guard keys off
+        # exactly this (a durable release the record failed to mention).
+        assert journal.load("job1").stage_computed == {}
+        assert journal.has_stage_checkpoints("job1")
+        journal.drop_stages("job1")
+        assert not journal.has_stage_checkpoints("job1")
+
     def test_drop_stages_deletes_checkpoints(self, journal):
         journal.create(_record())
         journal.save_stage("job1", "margins", {"m": np.arange(3.0)})

@@ -88,6 +88,60 @@ class TestRestartSurvival:
         with pytest.raises(ValueError, match="corrupt at line 2"):
             PrivacyAccountant(ledger_path, epsilon_cap=1.0)
 
+    def test_replay_deduplicates_entries_by_key(self, ledger_path):
+        # A retried append whose first attempt did reach disk (fsync
+        # error after a successful write) journals the same key twice;
+        # replay must apply the same dedup rule as charge().
+        entry = '{"dataset": "adult", "epsilon": 0.5, "key": "fit:j1"}\n'
+        ledger_path.write_text(entry + entry)
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert accountant.spent("adult") == pytest.approx(0.5)
+        assert len(accountant.entries("adult")) == 1
+        # Unkeyed entries are never deduplicated: they carry no retry
+        # provenance, so identical lines are distinct historic spends.
+        plain = '{"dataset": "b", "epsilon": 0.25}\n'
+        ledger_path.write_text(plain + plain)
+        accountant = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert accountant.spent("b") == pytest.approx(0.5)
+
+
+class TestTornTail:
+    def test_torn_tail_dropped_and_survives_append_plus_restart(
+        self, ledger_path
+    ):
+        # A crash mid-append leaves a truncated fragment with no
+        # trailing newline.  Replay must drop it AND repair the file,
+        # so the next append starts on a fresh line — otherwise the
+        # second restart finds one merged unparseable line and the
+        # service can never start again.
+        complete = '{"dataset": "adult", "epsilon": 0.5, "key": "fit:j1"}\n'
+        ledger_path.write_text(complete + '{"dataset": "adult", "eps')
+        recovered = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert recovered.spent("adult") == pytest.approx(0.5)
+        text = ledger_path.read_text()
+        assert text == complete  # fragment truncated away on disk
+        recovered.charge("adult", 0.25, label="fit:kendall:j2", key="fit:j2")
+        # The second restart — the one the unrepaired file would break.
+        rebooted = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert rebooted.spent("adult") == pytest.approx(0.75)
+
+    def test_parseable_torn_tail_is_counted_and_newline_terminated(
+        self, ledger_path
+    ):
+        # The append can die between writing the JSON and its newline:
+        # the tail parses as a complete entry and must count, but the
+        # file still needs the newline before further appends.
+        ledger_path.write_text(
+            '{"dataset": "adult", "epsilon": 0.5, "key": "fit:j1"}'
+        )
+        recovered = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert recovered.spent("adult") == pytest.approx(0.5)
+        assert ledger_path.read_text().endswith("}\n")
+        recovered.charge("adult", 0.25, key="fit:j2")
+        rebooted = PrivacyAccountant(ledger_path, epsilon_cap=2.0)
+        assert rebooted.spent("adult") == pytest.approx(0.75)
+        assert len(rebooted.entries("adult")) == 2
+
     def test_summary_shape(self, ledger_path):
         accountant = PrivacyAccountant(ledger_path, epsilon_cap=3.0)
         accountant.charge("adult", 1.0, label="fit:kendall:j1")

@@ -2,11 +2,13 @@
 
 import threading
 
+import numpy as np
 import pytest
 
+from repro.resilience.journal import JobJournal, JobRecord
 from repro.service import SynthesisService, ServiceConfig
 from repro.service.errors import BudgetRefusedError, NotFoundError, ValidationError
-from repro.service.jobs import FitJob, FitWorker, JobStatus
+from repro.service.jobs import FitCheckpoint, FitJob, FitWorker, JobStatus
 
 
 class TestFitWorker:
@@ -87,6 +89,41 @@ class TestFitWorker:
             assert worker.wait(f"q{i}", timeout=5.0).status == JobStatus.DONE
         assert sorted(done) == sorted(f"q{i}" for i in range(10))
         worker.close()
+
+
+class TestFitCheckpoint:
+    def test_save_journals_the_stage_before_persisting_noise(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash inside save() must never leave a noise-bearing
+        checkpoint that the journal knows nothing about — that is the
+        window where a later pre-noise failure would refund ε for noise
+        that durably exists.  The safe order is journal first: a crash
+        then leaves an over-claiming journal (refund blocked, stage
+        recomputed bitwise from its seed), never an unclaimed release.
+        """
+        journal = JobJournal(tmp_path / "jobs")
+        journal.create(
+            JobRecord(
+                job_id="j1",
+                dataset_id="ds",
+                method="kendall",
+                epsilon=1.0,
+                k=8.0,
+                seed=42,
+            )
+        )
+        monkeypatch.setattr(
+            journal,
+            "save_stage",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk died")),
+        )
+        checkpoint = FitCheckpoint(journal, "j1")
+        with pytest.raises(OSError):
+            checkpoint.save("margins", {"m": np.arange(3.0)})
+        record = journal.load("j1")
+        assert record.stage_computed.get("margins") == 1
+        assert not journal.has_stage_checkpoints("j1")
 
 
 class TestPooledService:

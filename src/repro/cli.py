@@ -212,6 +212,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection socket timeout for HTTP requests "
         "(default 30; 0 disables)",
     )
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="how long the sampling engine holds a batch open for "
+        "concurrent sample requests to join (default 0: no idle wait; "
+        "requests still coalesce while a batch executes)",
+    )
+    serve.add_argument(
+        "--max-coalesced-records",
+        type=int,
+        default=262_144,
+        help="record budget per coalesced sampling batch (default 262144)",
+    )
+    serve.add_argument(
+        "--sample-queue-limit",
+        type=int,
+        default=256,
+        help="bound on sample requests parked in the coalescer; arrivals "
+        "past it get 429 + Retry-After (default 256; 0 disables the bound)",
+    )
+    serve.add_argument(
+        "--shared-store",
+        choices=("off", "mmap", "shm"),
+        default="off",
+        help="publish compiled sampler plans for pooled workers: "
+        "memory-mapped files under <data-dir>/plans, or "
+        "multiprocessing shared memory (default off: process-local plans)",
+    )
+    serve.add_argument(
+        "--model-cache-size",
+        type=int,
+        default=128,
+        help="LRU bound on released models kept in server memory "
+        "(default 128; 0 disables the bound)",
+    )
 
     jobs = commands.add_parser(
         "jobs",
@@ -367,6 +404,11 @@ def _serve(args) -> int:
             max_queued_fits=args.max_queued_fits or None,
             fit_timeout_seconds=args.fit_timeout,
             request_timeout_seconds=args.request_timeout or None,
+            coalesce_window_seconds=args.coalesce_window,
+            max_coalesced_records=args.max_coalesced_records,
+            sample_queue_limit=args.sample_queue_limit or None,
+            shared_store_mode=args.shared_store,
+            model_cache_size=args.model_cache_size or None,
         )
     )
     server = build_server(

@@ -23,6 +23,7 @@ import numpy as np
 from scipy import stats as sps
 
 from repro.data.dataset import Dataset, Schema
+from repro.stats.copula_math import cholesky_factor
 from repro.stats.ecdf import HistogramCDF
 from repro.utils import RngLike, as_generator, check_int_at_least, check_matrix_square
 
@@ -134,13 +135,9 @@ class ConditionalCopulaSampler:
         conditional_mean = p_ba @ solve_aa
         conditional_cov = p_bb - p_ba @ np.linalg.solve(p_aa, p_ba.T)
         conditional_cov = (conditional_cov + conditional_cov.T) / 2.0
-        # Numerical floor keeps the Cholesky factorization valid.
-        eigenvalues, eigenvectors = np.linalg.eigh(conditional_cov)
-        conditional_cov = (
-            eigenvectors * np.clip(eigenvalues, 1e-10, None)
-        ) @ eigenvectors.T
-
-        cholesky = np.linalg.cholesky(conditional_cov)
+        # Eigenvalue floor (without diagonal renormalization — the
+        # conditional variances are meaningful) keeps the factorization valid.
+        cholesky = cholesky_factor(conditional_cov, repair="covariance")
         latent_free = (
             conditional_mean[None, :]
             + gen.standard_normal((n, b.size)) @ cholesky.T

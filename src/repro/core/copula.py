@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy import stats as sps
 
+from repro.stats.copula_math import cholesky_factor
 from repro.stats.correlation import correlation_from_tau
 from repro.stats.ecdf import HistogramCDF, pseudo_copula_transform
 from repro.stats.kendall import kendall_tau_matrix
@@ -73,7 +74,7 @@ class GaussianCopulaModel:
         if n is None:
             n = self._n_records
         gen = as_generator(rng)
-        cholesky = np.linalg.cholesky(self.correlation_)
+        cholesky = cholesky_factor(self.correlation_)
         latent = gen.standard_normal((int(n), self.correlation_.shape[0])) @ cholesky.T
         uniforms = sps.norm.cdf(latent)
         columns = [
@@ -216,7 +217,7 @@ class TCopulaModel:
             n = self._n_records
         gen = as_generator(rng)
         m = self.correlation_.shape[0]
-        cholesky = np.linalg.cholesky(self.correlation_)
+        cholesky = cholesky_factor(self.correlation_)
         normals = gen.standard_normal((int(n), m)) @ cholesky.T
         chi2 = gen.chisquare(self.df_, size=int(n))
         t_samples = normals / np.sqrt(chi2 / self.df_)[:, None]

@@ -13,14 +13,14 @@ Three steps, all pure post-processing of already-private quantities:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 from scipy import stats as sps
 
 from repro.data.dataset import Dataset, Schema
+from repro.stats.copula_math import cholesky_factor
 from repro.stats.ecdf import HistogramCDF
-from repro.stats.psd_repair import is_positive_definite, make_positive_definite
 from repro.telemetry import trace
 from repro.utils import RngLike, as_generator, check_int_at_least, check_matrix_square
 
@@ -50,6 +50,36 @@ class BatchedMarginInverter:
         )
         self._starts = np.concatenate(([0], np.cumsum(sizes[:-1])))
         self._limits = sizes - 1
+
+    def tables(self) -> Dict[str, np.ndarray]:
+        """The four lookup arrays, for persistence or shared memory."""
+        return {
+            "flat": self._flat,
+            "bands": self._bands,
+            "starts": self._starts,
+            "limits": self._limits,
+        }
+
+    @classmethod
+    def from_tables(
+        cls,
+        flat: np.ndarray,
+        bands: np.ndarray,
+        starts: np.ndarray,
+        limits: np.ndarray,
+    ) -> "BatchedMarginInverter":
+        """Rebuild an inverter around precomputed tables without copying.
+
+        The arrays are used as-is (they may be memory-mapped or live in
+        shared memory); the result is bitwise equivalent to constructing
+        from the margins the tables were derived from.
+        """
+        self = cls.__new__(cls)
+        self._flat = np.asarray(flat, dtype=float)
+        self._bands = np.asarray(bands, dtype=float)
+        self._starts = np.asarray(starts, dtype=np.int64)
+        self._limits = np.asarray(limits, dtype=np.int64)
+        return self
 
     @property
     def n_margins(self) -> int:
@@ -81,11 +111,9 @@ def sample_pseudo_copula(
     """
     correlation = check_matrix_square("correlation", correlation)
     check_int_at_least("n", n, 1)
-    if not is_positive_definite(correlation):
-        correlation = make_positive_definite(correlation)
     gen = as_generator(rng)
     m = correlation.shape[0]
-    cholesky = np.linalg.cholesky(correlation)
+    cholesky = cholesky_factor(correlation)
     latent = gen.standard_normal((n, m)) @ cholesky.T
     return sps.norm.cdf(latent)
 
@@ -138,12 +166,10 @@ def sample_synthetic(
     if chunk_size is not None:
         chunk_size = check_int_at_least("chunk_size", chunk_size, 1)
     with trace.span("sampling", n=int(n), m=correlation.shape[0]):
-        if not is_positive_definite(correlation):
-            with trace.span("psd_repair"):
-                correlation = make_positive_definite(correlation)
         gen = as_generator(rng)
         m = correlation.shape[0]
-        cholesky = np.linalg.cholesky(correlation)
+        with trace.span("cholesky"):
+            cholesky = cholesky_factor(correlation)
         inverter = BatchedMarginInverter(margins)
 
         step = n if chunk_size is None else chunk_size

@@ -54,6 +54,10 @@ class Schema:
         names = [a.name for a in self._attributes]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate attribute names in schema: {names}")
+        self._domain_sizes_array = np.array(
+            [a.domain_size for a in self._attributes], dtype=np.int64
+        )
+        self._domain_sizes_array.setflags(write=False)
 
     @classmethod
     def from_domain_sizes(cls, sizes: Sequence[int], prefix: str = "A") -> "Schema":
@@ -71,6 +75,11 @@ class Schema:
     @property
     def domain_sizes(self) -> List[int]:
         return [a.domain_size for a in self._attributes]
+
+    @property
+    def domain_sizes_array(self) -> np.ndarray:
+        """Domain sizes as a read-only int64 vector, for vectorized checks."""
+        return self._domain_sizes_array
 
     @property
     def dimensions(self) -> int:
@@ -144,12 +153,18 @@ class Dataset:
                 raise ValueError("dataset values must be integer-coded")
             values = rounded
         values = values.astype(np.int64, copy=True)
-        for j, attribute in enumerate(schema):
-            if not attribute.contains(values[:, j]):
-                raise ValueError(
-                    f"column {attribute.name!r} contains values outside "
-                    f"[0, {attribute.domain_size})"
-                )
+        # One vectorized pass over all columns; only on failure fall back
+        # to the per-column scan to name the offending attribute.
+        if values.size and (
+            values.min() < 0
+            or (values.max(axis=0) >= schema.domain_sizes_array).any()
+        ):
+            for j, attribute in enumerate(schema):
+                if not attribute.contains(values[:, j]):
+                    raise ValueError(
+                        f"column {attribute.name!r} contains values outside "
+                        f"[0, {attribute.domain_size})"
+                    )
         values.setflags(write=False)
         self._values = values
         self._schema = schema

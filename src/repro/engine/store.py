@@ -1,0 +1,301 @@
+"""Shared read-only plan stores: publish once, serve from every worker.
+
+A compiled :class:`~repro.engine.plan.SamplerPlan` is a handful of
+read-only arrays (the Cholesky factor, the inverter's lookup tables).
+For pre-fork or pooled deployments the arrays should exist *once* per
+machine, not once per process; this module publishes them through two
+interchangeable backends:
+
+* :class:`MmapPlanStore` — each array saved as an individual ``.npy``
+  file next to a ``manifest.json``, reloaded with
+  ``np.load(..., mmap_mode="r")`` so the kernel page cache backs every
+  process with one physical copy.  (Individual ``.npy`` files, not an
+  NPZ: ``np.load`` silently ignores ``mmap_mode`` inside a zip archive.)
+* :class:`SharedMemoryPlanStore` — arrays copied into
+  ``multiprocessing.shared_memory`` segments; the manifest carries the
+  segment names so sibling processes can :meth:`~SharedMemoryPlanStore.attach`.
+
+Both stores key publications by ``(model_id, generation)``.  A registry
+hot-swap bumps the generation, so the next ``publish`` sees a different
+key, publishes the new plan and **retires** every older generation of
+that model — readers that already hold the old plan keep a valid (if
+stale) snapshot, and new requests atomically see only the new one.
+
+The published arrays are strictly read-only.  Sampling from a published
+plan is bitwise identical to sampling from the local plan: the bytes are
+the same, only their backing storage differs.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.plan import SamplerPlan
+from repro.telemetry import get_logger, metrics
+
+__all__ = [
+    "MmapPlanStore",
+    "SharedMemoryPlanStore",
+    "build_plan_store",
+]
+
+_logger = get_logger("engine.store")
+
+_PUBLISHED = metrics.REGISTRY.counter(
+    "dpcopula_plan_store_published_total",
+    "Plans published to the shared read-only store (label: backend)",
+)
+_RETIRED = metrics.REGISTRY.counter(
+    "dpcopula_plan_store_retired_total",
+    "Stale plan generations retired from the shared store (label: backend)",
+)
+
+
+class MmapPlanStore:
+    """Publishes plans as memory-mapped ``.npy`` files on local disk.
+
+    Layout::
+
+        <directory>/<model_id>/gen-<generation>/
+            manifest.json      metadata + array dtypes/shapes
+            cholesky.npy       ... one file per plan array ...
+
+    The manifest is written last, so its existence commits a complete
+    publication; a crash mid-publish leaves an invisible partial
+    directory that the next publish simply overwrites.
+    """
+
+    backend = "mmap"
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._cache: Dict[str, Tuple[int, SamplerPlan]] = {}
+
+    def _generation_dir(self, model_id: str, generation: int) -> Path:
+        return self.directory / model_id / f"gen-{generation}"
+
+    def publish(self, plan: SamplerPlan) -> SamplerPlan:
+        """Publish ``plan`` (idempotent per generation); return the shared view.
+
+        The returned plan serves from memory-mapped arrays.  Publishing
+        a newer generation retires every older one of the same model.
+        """
+        with self._lock:
+            cached = self._cache.get(plan.model_id)
+            if cached is not None and cached[0] == plan.generation:
+                return cached[1]
+            target = self._generation_dir(plan.model_id, plan.generation)
+            manifest_path = target / "manifest.json"
+            if not manifest_path.exists():
+                target.mkdir(parents=True, exist_ok=True)
+                manifest: Dict[str, Any] = dict(plan.metadata())
+                manifest["arrays"] = {}
+                for name, array in plan.arrays().items():
+                    np.save(target / f"{name}.npy", array)
+                    manifest["arrays"][name] = {
+                        "dtype": str(array.dtype),
+                        "shape": list(array.shape),
+                    }
+                manifest_path.write_text(
+                    json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+                )
+                _PUBLISHED.inc(backend=self.backend)
+            shared = self._load_locked(plan.model_id, plan.generation)
+            self._cache[plan.model_id] = (plan.generation, shared)
+            self._retire_older_locked(plan.model_id, plan.generation)
+            return shared
+
+    def _load_locked(self, model_id: str, generation: int) -> SamplerPlan:
+        target = self._generation_dir(model_id, generation)
+        manifest = json.loads((target / "manifest.json").read_text())
+        arrays = {
+            name: np.load(target / f"{name}.npy", mmap_mode="r")
+            for name in manifest["arrays"]
+        }
+        return SamplerPlan.from_arrays(arrays, manifest)
+
+    def _retire_older_locked(self, model_id: str, generation: int) -> None:
+        model_dir = self.directory / model_id
+        for stale in model_dir.glob("gen-*"):
+            try:
+                stale_generation = int(stale.name.split("-", 1)[1])
+            except (IndexError, ValueError):  # pragma: no cover - foreign file
+                continue
+            if stale_generation < generation:
+                shutil.rmtree(stale, ignore_errors=True)
+                _RETIRED.inc(backend=self.backend)
+                _logger.debug(
+                    "retired stale plan generation",
+                    extra={"model_id": model_id, "generation": stale_generation},
+                )
+
+    def retire(self, model_id: str) -> None:
+        """Drop every published generation of ``model_id``."""
+        with self._lock:
+            self._cache.pop(model_id, None)
+            model_dir = self.directory / model_id
+            if model_dir.exists():
+                shutil.rmtree(model_dir, ignore_errors=True)
+                _RETIRED.inc(backend=self.backend)
+
+    def close(self) -> None:
+        """Release cached plan handles (published files stay on disk)."""
+        with self._lock:
+            self._cache.clear()
+
+
+class SharedMemoryPlanStore:
+    """Publishes plans into ``multiprocessing.shared_memory`` segments.
+
+    Each plan array becomes one POSIX shared-memory segment named
+    ``dpc-<pid>-<model_id>-g<generation>-<array>``; the publishing
+    process owns the segments (and unlinks them on :meth:`close` /
+    :meth:`retire`), sibling processes :meth:`attach` by manifest.
+    """
+
+    backend = "shm"
+
+    def __init__(self, prefix: Optional[str] = None):
+        import os
+
+        self.prefix = prefix if prefix is not None else f"dpc-{os.getpid()}"
+        self._lock = threading.Lock()
+        # model_id -> (generation, shared plan, manifest, segments)
+        self._published: Dict[str, Tuple[int, SamplerPlan, Dict[str, Any], list]] = {}
+
+    def _segment_name(self, model_id: str, generation: int, array: str) -> str:
+        return f"{self.prefix}-{model_id}-g{generation}-{array}"
+
+    def publish(self, plan: SamplerPlan) -> SamplerPlan:
+        """Copy the plan's arrays into shared memory (idempotent per generation)."""
+        with self._lock:
+            existing = self._published.get(plan.model_id)
+            if existing is not None:
+                if existing[0] == plan.generation:
+                    return existing[1]
+                self._unlink_locked(plan.model_id)
+                _RETIRED.inc(backend=self.backend)
+            manifest: Dict[str, Any] = dict(plan.metadata())
+            manifest["arrays"] = {}
+            segments = []
+            arrays: Dict[str, np.ndarray] = {}
+            try:
+                for name, array in plan.arrays().items():
+                    contiguous = np.ascontiguousarray(array)
+                    segment = shared_memory.SharedMemory(
+                        name=self._segment_name(plan.model_id, plan.generation, name),
+                        create=True,
+                        size=max(contiguous.nbytes, 1),
+                    )
+                    segments.append(segment)
+                    view = np.ndarray(
+                        contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf
+                    )
+                    view[...] = contiguous
+                    arrays[name] = view
+                    manifest["arrays"][name] = {
+                        "segment": segment.name,
+                        "dtype": str(contiguous.dtype),
+                        "shape": list(contiguous.shape),
+                    }
+            except BaseException:
+                for segment in segments:
+                    segment.close()
+                    try:
+                        segment.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+                raise
+            shared = SamplerPlan.from_arrays(arrays, manifest)
+            self._published[plan.model_id] = (
+                plan.generation,
+                shared,
+                manifest,
+                segments,
+            )
+            _PUBLISHED.inc(backend=self.backend)
+            return shared
+
+    def manifest(self, model_id: str) -> Dict[str, Any]:
+        """The attach manifest for a published model (JSON-serializable)."""
+        with self._lock:
+            entry = self._published.get(model_id)
+            if entry is None:
+                raise KeyError(f"no plan published for model {model_id!r}")
+            return json.loads(json.dumps(entry[2]))
+
+    @classmethod
+    def attach(cls, manifest: Dict[str, Any]) -> Tuple[SamplerPlan, list]:
+        """Map a sibling publisher's segments into this process.
+
+        Returns the shared plan plus the list of ``SharedMemory``
+        handles the caller must keep alive (and ``close()`` when done)
+        — dropping them invalidates the plan's array views.
+        """
+        segments = []
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for name, spec in manifest["arrays"].items():
+                segment = shared_memory.SharedMemory(name=spec["segment"])
+                segments.append(segment)
+                arrays[name] = np.ndarray(
+                    tuple(spec["shape"]), dtype=spec["dtype"], buffer=segment.buf
+                )
+        except BaseException:
+            for segment in segments:
+                segment.close()
+            raise
+        return SamplerPlan.from_arrays(arrays, manifest), segments
+
+    def _unlink_locked(self, model_id: str) -> None:
+        entry = self._published.pop(model_id, None)
+        if entry is None:
+            return
+        for segment in entry[3]:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def retire(self, model_id: str) -> None:
+        """Unlink every segment of ``model_id``'s published plan."""
+        with self._lock:
+            if model_id in self._published:
+                self._unlink_locked(model_id)
+                _RETIRED.inc(backend=self.backend)
+
+    def close(self) -> None:
+        """Unlink every published segment (publisher-side teardown)."""
+        with self._lock:
+            for model_id in list(self._published):
+                self._unlink_locked(model_id)
+
+
+def build_plan_store(mode: str, directory=None):
+    """Factory for the service config's ``shared_store_mode`` knob.
+
+    ``"off"`` returns ``None`` (plans stay process-local), ``"mmap"``
+    builds a :class:`MmapPlanStore` under ``directory``, ``"shm"`` a
+    :class:`SharedMemoryPlanStore`.
+    """
+    if mode == "off":
+        return None
+    if mode == "mmap":
+        if directory is None:
+            raise ValueError("mmap plan store needs a directory")
+        return MmapPlanStore(directory)
+    if mode == "shm":
+        return SharedMemoryPlanStore()
+    raise ValueError(
+        f"shared_store_mode must be 'off', 'mmap' or 'shm', got {mode!r}"
+    )

@@ -31,19 +31,29 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.dpcopula import DEFAULT_RATIO_K, DPCopulaKendall, DPCopulaMLE
+from repro.engine import (
+    EngineOverloadedError,
+    RequestCoalescer,
+    SamplingEngine,
+    build_plan_store,
+)
 from repro.io import ReleasedModel
 from repro.resilience.journal import JobJournal, JobRecord
 from repro.resilience.retry import RetryPolicy, call_with_retry, mark_no_retry
 from repro.service.accountant import PrivacyAccountant
 from repro.service.config import ServiceConfig
 from repro.service.datasets import DatasetStore
-from repro.service.errors import BudgetRefusedError, NotFoundError, ValidationError
+from repro.service.errors import (
+    BudgetRefusedError,
+    NotFoundError,
+    QueueFullError,
+    ValidationError,
+)
 from repro.parallel import ExecutionContext
 from repro.service.jobs import FitCheckpoint, FitJob, FitWorker
 from repro.service.registry import ModelRegistry
 from repro.service.serializers import dataset_summary, dataset_to_rows
 from repro.telemetry import configure_logging, get_logger, metrics, trace
-from repro.utils import as_generator
 
 __all__ = ["SynthesisService", "FIT_METHODS"]
 
@@ -104,8 +114,22 @@ class SynthesisService:
         configure_logging(config.log_level)
         config.ensure_layout()
         self.datasets = DatasetStore(config.datasets_dir)
-        self.registry = ModelRegistry(config.models_dir)
+        self.registry = ModelRegistry(
+            config.models_dir, max_cached_models=config.model_cache_size
+        )
         self.accountant = PrivacyAccountant(config.ledger_path, config.epsilon_cap)
+        # The sampling engine: compiled plans from the registry, arrays
+        # optionally re-homed in a shared read-only store, concurrent
+        # requests coalesced into one vectorized draw (docs/PERFORMANCE.md).
+        self.engine = SamplingEngine(
+            self.registry.get_plan,
+            coalescer=RequestCoalescer(
+                window_seconds=config.coalesce_window_seconds,
+                max_batch_records=config.max_coalesced_records,
+                max_pending_requests=config.sample_queue_limit,
+            ),
+            store=build_plan_store(config.shared_store_mode, config.plans_dir),
+        )
         self.journal = JobJournal(config.jobs_dir)
         # One stateless execution context serves every fit worker; each
         # map_tasks call builds its own pool, so concurrent fits never
@@ -480,19 +504,20 @@ class SynthesisService:
     ) -> Dict[str, Any]:
         """Draw ``n`` synthetic records from a registered model.
 
-        Thread-safe by construction: each request gets its own
-        ``np.random.Generator`` (via ``utils.as_generator``) and the
-        cached :class:`~repro.io.ReleasedModel` is only ever read.
-        Costs no privacy budget — this is post-processing of an
+        Served by the sampling engine: the model's compiled
+        :class:`~repro.engine.plan.SamplerPlan` does the per-model work
+        once, and concurrent requests coalesce into one vectorized draw
+        — bitwise identical per request to an uncoalesced serial draw,
+        so a seeded request always reproduces the same records.  Costs
+        no privacy budget — this is post-processing of an
         already-released model.
         """
         try:
             record = self.registry.record(model_id)
-            model = self.registry.get(model_id)
         except KeyError as exc:
             raise NotFoundError(_key_error_message(exc)) from exc
         if n is None:
-            n = model.n_records
+            n = record.n_records
         if not isinstance(n, int) or isinstance(n, bool) or n < 1:
             raise ValidationError(f"n must be a positive integer, got {n!r}")
         if n > MAX_SAMPLE_N:
@@ -502,9 +527,15 @@ class SynthesisService:
             )
         if seed is not None and not isinstance(seed, int):
             raise ValidationError("seed must be an integer or null")
-        rng = as_generator(seed)
         started = time.perf_counter()
-        synthetic = model.sample(n, rng=rng)
+        try:
+            synthetic = self.engine.sample(model_id, n, seed=seed)
+        except KeyError as exc:
+            # The model vanished between the sidecar read and the plan
+            # lookup (concurrent delete): surface the same 404.
+            raise NotFoundError(_key_error_message(exc)) from exc
+        except EngineOverloadedError as exc:
+            raise QueueFullError(str(exc), retry_after=exc.retry_after) from exc
         elapsed = time.perf_counter() - started
         _SAMPLE_SECONDS.observe(elapsed)
         _SAMPLE_RECORDS.inc(n)
@@ -543,6 +574,14 @@ class SynthesisService:
             "dpcopula_fit_queue_depth",
             "Fit jobs waiting in the worker queue (excludes the running job)",
         ).set(self.worker.queue_depth())
+        metrics.REGISTRY.gauge(
+            "dpcopula_engine_pending_requests",
+            "Sample requests parked in the coalescer awaiting a batch",
+        ).set(self.engine.pending())
+        metrics.REGISTRY.gauge(
+            "dpcopula_registry_cached_models",
+            "Released models resident in the registry's LRU cache",
+        ).set(self.registry.cached_models())
         self.journal.refresh_state_gauge()
 
     def healthz(self) -> Dict[str, Any]:
@@ -586,3 +625,4 @@ class SynthesisService:
         ``drain=True`` processes the whole queue first.
         """
         self.worker.close(drain=drain)
+        self.engine.close()

@@ -136,6 +136,26 @@ class ServiceConfig:
         Per-connection socket timeout for the HTTP server: a client that
         stalls mid-request is disconnected instead of pinning a handler
         thread forever.  ``None`` disables the timeout.
+    coalesce_window_seconds:
+        How long the sampling engine holds a batch open for concurrent
+        sample requests to join (see :mod:`repro.engine.coalesce`).
+        ``0`` (the default) adds no idle latency — requests still
+        coalesce whenever they arrive while a batch executes.
+    max_coalesced_records:
+        Record budget per coalesced sampling batch; bounds the transient
+        work arrays one vectorized draw materializes.
+    sample_queue_limit:
+        Bound on sample requests parked in the coalescer across all
+        models.  Arrivals beyond it get HTTP 429 + ``Retry-After``.
+        ``None`` disables the bound.
+    shared_store_mode:
+        How compiled sampler plans are published for pooled/pre-fork
+        workers: ``"off"`` (process-local, the default), ``"mmap"``
+        (memory-mapped files under ``<data_dir>/plans``) or ``"shm"``
+        (``multiprocessing.shared_memory`` segments).
+    model_cache_size:
+        LRU bound on released models (and their compiled plans) the
+        registry keeps in memory.  ``None`` caches without bound.
     """
 
     data_dir: PathLike
@@ -147,6 +167,11 @@ class ServiceConfig:
     max_queued_fits: Optional[int] = 32
     fit_timeout_seconds: Optional[float] = None
     request_timeout_seconds: Optional[float] = 30.0
+    coalesce_window_seconds: float = 0.0
+    max_coalesced_records: int = 262_144
+    sample_queue_limit: Optional[int] = 256
+    shared_store_mode: str = "off"
+    model_cache_size: Optional[int] = 128
 
     @property
     def root(self) -> Path:
@@ -163,6 +188,10 @@ class ServiceConfig:
     @property
     def jobs_dir(self) -> Path:
         return self.root / "jobs"
+
+    @property
+    def plans_dir(self) -> Path:
+        return self.root / "plans"
 
     @property
     def ledger_path(self) -> Path:

@@ -32,8 +32,14 @@ which defaults to the Prometheus text exposition format and switches to
 the JSON snapshot when the request's ``Accept`` header asks for
 ``application/json``.  Errors are ``{"error": "<message>"}`` with a
 meaningful status code: 400 malformed, 404 unknown id, 409 privacy
-budget refused, 405 wrong method, 429 fit queue full (with a
-``Retry-After`` header carrying the backoff hint in seconds).
+budget refused, 405 wrong method, 429 fit queue full *or* sampling
+engine overloaded (with a ``Retry-After`` header carrying the backoff
+hint in seconds).
+
+Sampling requests are served by the engine (:mod:`repro.engine`):
+concurrent requests against the same model coalesce into one vectorized
+draw, with per-request bitwise determinism — the thread-per-request
+model pairs naturally with the coalescer's leader/follower hand-off.
 
 Hardening: each connection runs under the config's
 ``request_timeout_seconds`` socket timeout, so a stalled client cannot
@@ -65,7 +71,7 @@ _REQUESTS_TOTAL = metrics.REGISTRY.counter(
 )
 _THROTTLED_TOTAL = metrics.REGISTRY.counter(
     "dpcopula_http_throttled_total",
-    "Requests refused with 429 because the fit queue was full",
+    "Requests refused with 429 (fit queue full or sampling engine overloaded)",
 )
 
 #: Uploads above this size are refused outright (64 MiB of CSV text).

@@ -8,7 +8,18 @@ and serves it forever, across process restarts, without refitting.
 
 Listing reads only the lightweight sidecars; the NPZ payload is loaded
 lazily on first sample and cached, so a registry with thousands of
-models starts instantly.
+models starts instantly.  The in-memory cache is **bounded**: at most
+``max_cached_models`` entries stay resident, evicted least-recently-used
+(evictions only drop the cached copy — the durable NPZ always remains,
+so an evicted model silently reloads on next use).
+
+Each cache entry carries the model's compiled
+:class:`~repro.engine.plan.SamplerPlan` alongside the model itself, and
+every model id has a monotonically increasing **generation** number.
+:meth:`ModelRegistry.replace` hot-swaps a model's released state in
+place and bumps the generation, which is how downstream plan consumers
+(the sampling engine's shared stores and coalescer) atomically retire
+stale plans.
 """
 
 from __future__ import annotations
@@ -18,14 +29,30 @@ import json
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.engine.plan import SamplerPlan, compile_plan
 from repro.io import MODEL_FORMAT_VERSION, ReleasedModel
 from repro.service.config import PathLike, atomic_write_bytes, check_identifier
+from repro.telemetry import metrics
 
 __all__ = ["ModelRecord", "ModelRegistry"]
+
+_EVICTIONS = metrics.REGISTRY.counter(
+    "dpcopula_registry_evictions_total",
+    "Models dropped from the registry's in-memory LRU cache",
+)
+_PLAN_HITS = metrics.REGISTRY.counter(
+    "dpcopula_plan_cache_hits_total",
+    "Sampler-plan lookups served from the registry cache",
+)
+_PLAN_MISSES = metrics.REGISTRY.counter(
+    "dpcopula_plan_cache_misses_total",
+    "Sampler-plan lookups that had to (re)load and compile",
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +97,14 @@ class ModelRecord:
         )
 
 
+@dataclass
+class _CacheEntry:
+    """One resident model plus its compiled sampler plan."""
+
+    model: ReleasedModel
+    plan: SamplerPlan
+
+
 class ModelRegistry:
     """Filesystem-backed store of :class:`~repro.io.ReleasedModel`s.
 
@@ -78,13 +113,36 @@ class ModelRegistry:
     The sidecar is written *after* the NPZ, so a sidecar's existence
     implies a complete payload; orphaned NPZs from a crash mid-``put``
     are invisible and harmless.
+
+    Parameters
+    ----------
+    directory:
+        Where the NPZ payloads and sidecars live.
+    max_cached_models:
+        LRU bound on models (and their compiled plans) held in memory.
+        ``None`` caches without bound (the pre-engine behavior).
     """
 
-    def __init__(self, directory: PathLike):
+    DEFAULT_MAX_CACHED_MODELS = 128
+
+    def __init__(
+        self,
+        directory: PathLike,
+        max_cached_models: Optional[int] = DEFAULT_MAX_CACHED_MODELS,
+    ):
+        if max_cached_models is not None and max_cached_models < 1:
+            raise ValueError(
+                f"max_cached_models must be >= 1 or None, got {max_cached_models}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_cached_models = max_cached_models
         self._lock = threading.RLock()
-        self._cache: Dict[str, ReleasedModel] = {}
+        self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        # Generations survive eviction: the counter invalidates plans
+        # held *outside* the registry, so it must never reset while the
+        # process lives.
+        self._generations: Dict[str, int] = {}
 
     def _npz_path(self, model_id: str) -> Path:
         return self.directory / f"{model_id}.npz"
@@ -129,8 +187,102 @@ class ModelRegistry:
                 self._sidecar_path(model_id),
                 (json.dumps(record.to_dict(), sort_keys=True, indent=2) + "\n").encode(),
             )
-            self._cache[model_id] = model
+            self._install_locked(model_id, model)
         return record
+
+    def replace(self, model_id: str, model: ReleasedModel) -> ModelRecord:
+        """Hot-swap the released state behind an already-registered id.
+
+        Atomically overwrites the NPZ (readers see the old or the new
+        payload, never a torn one), refreshes the sidecar's model-derived
+        fields, bumps the id's **generation** and recompiles the cached
+        plan — so every downstream plan consumer keyed by
+        ``(model_id, generation)`` retires the stale plan on its next
+        lookup.
+        """
+        model_id = check_identifier("model", model_id)
+        with self._lock:
+            if not self._sidecar_path(model_id).exists():
+                raise KeyError(f"no model registered under id {model_id!r}")
+            old = ModelRecord.from_dict(
+                json.loads(self._sidecar_path(model_id).read_text())
+            )
+            record = ModelRecord(
+                model_id=model_id,
+                dataset_id=old.dataset_id,
+                method=old.method,
+                epsilon=model.epsilon,
+                n_records=model.n_records,
+                schema=[[a.name, a.domain_size] for a in model.schema],
+                created_at=time.time(),
+                extra=dict(old.extra),
+            )
+            buffer = io.BytesIO()
+            model.save(buffer)
+            atomic_write_bytes(self._npz_path(model_id), buffer.getvalue())
+            atomic_write_bytes(
+                self._sidecar_path(model_id),
+                (json.dumps(record.to_dict(), sort_keys=True, indent=2) + "\n").encode(),
+            )
+            self._generations[model_id] = self._generation_locked(model_id) + 1
+            self._cache.pop(model_id, None)
+            self._install_locked(model_id, model)
+        return record
+
+    # -- cache machinery --------------------------------------------------
+
+    def _generation_locked(self, model_id: str) -> int:
+        return self._generations.setdefault(model_id, 1)
+
+    def generation(self, model_id: str) -> int:
+        """The id's current generation (bumped by every ``replace``)."""
+        with self._lock:
+            return self._generation_locked(model_id)
+
+    def _install_locked(self, model_id: str, model: ReleasedModel) -> _CacheEntry:
+        """Cache a model (compiling its plan) and enforce the LRU bound."""
+        entry = _CacheEntry(
+            model=model,
+            plan=compile_plan(
+                model, model_id, generation=self._generation_locked(model_id)
+            ),
+        )
+        self._cache[model_id] = entry
+        self._cache.move_to_end(model_id)
+        while (
+            self.max_cached_models is not None
+            and len(self._cache) > self.max_cached_models
+        ):
+            self._cache.popitem(last=False)
+            _EVICTIONS.inc()
+        return entry
+
+    def _entry(self, model_id: str) -> _CacheEntry:
+        """The id's cache entry, loading + compiling on miss (LRU touch)."""
+        with self._lock:
+            entry = self._cache.get(model_id)
+            if entry is not None:
+                self._cache.move_to_end(model_id)
+                _PLAN_HITS.inc()
+                return entry
+        if not self._sidecar_path(model_id).exists():
+            raise KeyError(f"no model registered under id {model_id!r}")
+        model = ReleasedModel.load(self._npz_path(model_id))
+        with self._lock:
+            # Re-check: another thread may have installed while we read
+            # the NPZ; keep its entry (and plan identity) if so.
+            entry = self._cache.get(model_id)
+            if entry is not None:
+                self._cache.move_to_end(model_id)
+                _PLAN_HITS.inc()
+                return entry
+            _PLAN_MISSES.inc()
+            return self._install_locked(model_id, model)
+
+    def cached_models(self) -> int:
+        """Models currently resident in the LRU cache."""
+        with self._lock:
+            return len(self._cache)
 
     def record(self, model_id: str) -> ModelRecord:
         """The metadata sidecar for ``model_id`` (no NPZ load)."""
@@ -141,15 +293,16 @@ class ModelRegistry:
 
     def get(self, model_id: str) -> ReleasedModel:
         """The released model itself, lazily loaded and cached."""
-        with self._lock:
-            cached = self._cache.get(model_id)
-            if cached is not None:
-                return cached
-        if not self._sidecar_path(model_id).exists():
-            raise KeyError(f"no model registered under id {model_id!r}")
-        model = ReleasedModel.load(self._npz_path(model_id))
-        with self._lock:
-            return self._cache.setdefault(model_id, model)
+        return self._entry(model_id).model
+
+    def get_plan(self, model_id: str) -> SamplerPlan:
+        """The model's compiled sampler plan (the engine's plan provider).
+
+        Compiled once per cached model — generation-tagged so the
+        engine's shared stores and coalescer can retire a plan the
+        moment :meth:`replace` swaps the model underneath it.
+        """
+        return self._entry(model_id).plan
 
     def list(self) -> List[ModelRecord]:
         """All registered models, newest first, from sidecars only."""

@@ -25,6 +25,7 @@ from repro.stats.psd_repair import (
     make_positive_definite,
 )
 from repro.stats.copula_math import (
+    cholesky_factor,
     gaussian_copula_logdensity,
     pairwise_copula_mle,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "is_positive_definite",
     "make_positive_definite",
     "higham_nearest_correlation",
+    "cholesky_factor",
     "gaussian_copula_logdensity",
     "pairwise_copula_mle",
     "margin_pmf",

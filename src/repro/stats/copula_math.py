@@ -17,9 +17,72 @@ from __future__ import annotations
 import numpy as np
 from scipy import optimize, stats as sps
 
+from repro.stats.psd_repair import (
+    DEFAULT_EIGENVALUE_FLOOR,
+    is_positive_definite,
+    make_positive_definite,
+)
 from repro.utils import check_matrix_square
 
 _PROBIT_CLIP = 1e-12
+
+#: Eigenvalue floor for covariance (non-correlation) factorization; the
+#: conditional sampler's historical constant, kept for bitwise stability.
+COVARIANCE_EIGENVALUE_FLOOR = 1e-10
+
+
+def cholesky_factor(
+    matrix: np.ndarray,
+    repair: str = "correlation",
+    floor: float = None,
+) -> np.ndarray:
+    """The library's one Cholesky-with-jitter-floor idiom.
+
+    Every Gaussian(-like) sampler needs the lower-triangular factor
+    ``L`` with ``L Lᵀ = M`` of a matrix that may have drifted slightly
+    indefinite (Laplace noise on a correlation, floating-point error in
+    a Schur complement).  This helper centralizes the repair-then-factor
+    step so the floor semantics cannot diverge between call sites.
+
+    Parameters
+    ----------
+    matrix:
+        The symmetric matrix to factor.
+    repair:
+        ``"correlation"`` (default) applies Algorithm 5's eigenvalue
+        repair — only when an eigenvalue check fails — and renormalizes
+        the diagonal to 1 (:func:`~repro.stats.psd_repair.make_positive_definite`).
+        ``"covariance"`` unconditionally floors the eigenvalues and
+        reassembles *without* renormalizing (the diagonal is meaningful
+        for a covariance).  ``"none"`` factors as-is and lets
+        ``np.linalg.cholesky`` raise on an indefinite input.
+    floor:
+        Eigenvalue floor; defaults to
+        :data:`~repro.stats.psd_repair.DEFAULT_EIGENVALUE_FLOOR` for
+        ``"correlation"`` and :data:`COVARIANCE_EIGENVALUE_FLOOR` for
+        ``"covariance"``.
+
+    Returns
+    -------
+    The lower-triangular Cholesky factor of the (repaired) matrix.
+    """
+    matrix = check_matrix_square("matrix", matrix)
+    if repair == "correlation":
+        if not is_positive_definite(matrix):
+            matrix = make_positive_definite(
+                matrix,
+                floor=DEFAULT_EIGENVALUE_FLOOR if floor is None else floor,
+            )
+    elif repair == "covariance":
+        if floor is None:
+            floor = COVARIANCE_EIGENVALUE_FLOOR
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        matrix = (eigenvectors * np.clip(eigenvalues, floor, None)) @ eigenvectors.T
+    elif repair != "none":
+        raise ValueError(
+            f"repair must be 'correlation', 'covariance' or 'none', got {repair!r}"
+        )
+    return np.linalg.cholesky(matrix)
 
 
 def _probit(u: np.ndarray) -> np.ndarray:

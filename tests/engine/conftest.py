@@ -1,0 +1,31 @@
+"""Shared fixtures for the sampling-engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpcopula import DPCopulaKendall
+from repro.engine import compile_plan
+from repro.io import ReleasedModel
+
+
+@pytest.fixture
+def make_released_model(small_dataset):
+    """Factory for distinct releases of the 200-record conftest dataset."""
+
+    def build(epsilon: float = 1.0, seed: int = 0) -> ReleasedModel:
+        synthesizer = DPCopulaKendall(epsilon=epsilon, rng=seed)
+        synthesizer.fit(small_dataset)
+        return ReleasedModel.from_synthesizer(synthesizer)
+
+    return build
+
+
+@pytest.fixture
+def released_model(make_released_model) -> ReleasedModel:
+    return make_released_model()
+
+
+@pytest.fixture
+def plan(released_model):
+    return compile_plan(released_model, "m-test", generation=1)

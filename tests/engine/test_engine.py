@@ -1,0 +1,81 @@
+"""The engine facade: seeding contract, store/coalescer composition."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    MmapPlanStore,
+    RequestCoalescer,
+    SamplingEngine,
+    compile_plan,
+)
+
+
+@pytest.fixture
+def engine(plan):
+    return SamplingEngine({"m-test": plan}.__getitem__)
+
+
+class TestSeedingContract:
+    def test_seeded_matches_pre_engine_path(self, engine, released_model):
+        """An explicit seed reproduces the historical serve response."""
+        baseline = released_model.sample(200, rng=np.random.default_rng(42))
+        served = engine.sample("m-test", 200, seed=42)
+        np.testing.assert_array_equal(served.values, baseline.values)
+
+    def test_seeded_is_stable_across_calls(self, engine):
+        first = engine.sample("m-test", 100, seed=7)
+        second = engine.sample("m-test", 100, seed=7)
+        np.testing.assert_array_equal(first.values, second.values)
+
+    def test_unseeded_requests_differ(self, engine):
+        first = engine.sample("m-test", 100)
+        second = engine.sample("m-test", 100)
+        assert not np.array_equal(first.values, second.values)
+
+    def test_default_n_is_model_size(self, engine, plan):
+        assert engine.sample("m-test", seed=1).n_records == plan.n_records
+
+    def test_unknown_model_raises_keyerror(self, engine):
+        with pytest.raises(KeyError):
+            engine.sample("nope", 10)
+
+
+class TestComposition:
+    def test_with_coalescer_seeded_still_bitwise(self, plan, released_model):
+        engine = SamplingEngine(
+            {"m-test": plan}.__getitem__,
+            coalescer=RequestCoalescer(window_seconds=0.0),
+        )
+        baseline = released_model.sample(150, rng=np.random.default_rng(5))
+        served = engine.sample("m-test", 150, seed=5)
+        np.testing.assert_array_equal(served.values, baseline.values)
+        assert engine.pending() == 0
+
+    def test_with_store_seeded_still_bitwise(self, tmp_path, plan, released_model):
+        engine = SamplingEngine(
+            {"m-test": plan}.__getitem__,
+            store=MmapPlanStore(tmp_path / "plans"),
+        )
+        baseline = released_model.sample(150, rng=np.random.default_rng(5))
+        served = engine.sample("m-test", 150, seed=5)
+        np.testing.assert_array_equal(served.values, baseline.values)
+        engine.close()
+
+    def test_store_follows_generation(self, tmp_path, released_model, make_released_model):
+        """A provider that swaps generations flows through the store."""
+        plans = {"m-1": compile_plan(released_model, "m-1", generation=1)}
+        engine = SamplingEngine(
+            plans.__getitem__, store=MmapPlanStore(tmp_path / "plans")
+        )
+        before = engine.sample("m-1", 60, seed=9)
+
+        swapped = make_released_model(epsilon=2.0, seed=1)
+        plans["m-1"] = compile_plan(swapped, "m-1", generation=2)
+        after = engine.sample("m-1", 60, seed=9)
+
+        np.testing.assert_array_equal(
+            after.values, swapped.sample(60, rng=np.random.default_rng(9)).values
+        )
+        assert not np.array_equal(before.values, after.values)
+        engine.close()

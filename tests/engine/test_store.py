@@ -1,0 +1,133 @@
+"""Shared plan stores: bitwise fidelity, generation retirement, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    MmapPlanStore,
+    SharedMemoryPlanStore,
+    build_plan_store,
+    compile_plan,
+)
+
+
+class TestMmapStore:
+    def test_published_plan_samples_bitwise(self, tmp_path, plan):
+        store = MmapPlanStore(tmp_path / "plans")
+        shared = store.publish(plan)
+        local = plan.sample(300, np.random.default_rng(11))
+        mapped = shared.sample(300, np.random.default_rng(11))
+        np.testing.assert_array_equal(local.values, mapped.values)
+        store.close()
+
+    def test_publish_idempotent_per_generation(self, tmp_path, plan):
+        store = MmapPlanStore(tmp_path / "plans")
+        first = store.publish(plan)
+        second = store.publish(plan)
+        assert first is second  # served from the cache, not re-read
+        store.close()
+
+    def test_generation_bump_retires_stale_files(
+        self, tmp_path, released_model, make_released_model
+    ):
+        store = MmapPlanStore(tmp_path / "plans")
+        old = compile_plan(released_model, "m-1", generation=1)
+        store.publish(old)
+        assert (tmp_path / "plans" / "m-1" / "gen-1" / "manifest.json").exists()
+
+        swapped = make_released_model(epsilon=2.0, seed=1)
+        new = compile_plan(swapped, "m-1", generation=2)
+        shared = store.publish(new)
+        assert shared.generation == 2
+        assert not (tmp_path / "plans" / "m-1" / "gen-1").exists()
+        assert (tmp_path / "plans" / "m-1" / "gen-2" / "manifest.json").exists()
+        # The new plan serves the new model's records.
+        np.testing.assert_array_equal(
+            shared.sample(50, np.random.default_rng(3)).values,
+            new.sample(50, np.random.default_rng(3)).values,
+        )
+
+    def test_retire_drops_model(self, tmp_path, plan):
+        store = MmapPlanStore(tmp_path / "plans")
+        store.publish(plan)
+        store.retire(plan.model_id)
+        assert not (tmp_path / "plans" / plan.model_id).exists()
+
+    def test_survives_process_restart(self, tmp_path, plan):
+        """A fresh store over the same directory reuses published files."""
+        MmapPlanStore(tmp_path / "plans").publish(plan)
+        rebooted = MmapPlanStore(tmp_path / "plans")
+        shared = rebooted.publish(plan)
+        np.testing.assert_array_equal(
+            shared.sample(40, np.random.default_rng(2)).values,
+            plan.sample(40, np.random.default_rng(2)).values,
+        )
+
+
+class TestSharedMemoryStore:
+    def test_published_plan_samples_bitwise(self, plan):
+        store = SharedMemoryPlanStore(prefix="dpc-test-bitwise")
+        try:
+            shared = store.publish(plan)
+            local = plan.sample(300, np.random.default_rng(11))
+            segment = shared.sample(300, np.random.default_rng(11))
+            np.testing.assert_array_equal(local.values, segment.values)
+        finally:
+            store.close()
+
+    def test_attach_from_manifest(self, plan):
+        """A sibling can map the segments by manifest alone."""
+        store = SharedMemoryPlanStore(prefix="dpc-test-attach")
+        try:
+            store.publish(plan)
+            manifest = store.manifest(plan.model_id)
+            attached, handles = SharedMemoryPlanStore.attach(manifest)
+            try:
+                np.testing.assert_array_equal(
+                    attached.sample(100, np.random.default_rng(4)).values,
+                    plan.sample(100, np.random.default_rng(4)).values,
+                )
+            finally:
+                for handle in handles:
+                    handle.close()
+        finally:
+            store.close()
+
+    def test_generation_bump_replaces_segments(
+        self, released_model, make_released_model
+    ):
+        store = SharedMemoryPlanStore(prefix="dpc-test-swap")
+        try:
+            store.publish(compile_plan(released_model, "m-1", generation=1))
+            swapped = compile_plan(
+                make_released_model(epsilon=2.0, seed=1), "m-1", generation=2
+            )
+            shared = store.publish(swapped)
+            assert shared.generation == 2
+            assert store.manifest("m-1")["generation"] == 2
+        finally:
+            store.close()
+
+    def test_manifest_unknown_model(self):
+        store = SharedMemoryPlanStore(prefix="dpc-test-miss")
+        try:
+            with pytest.raises(KeyError):
+                store.manifest("nope")
+        finally:
+            store.close()
+
+
+class TestFactory:
+    def test_modes(self, tmp_path):
+        assert build_plan_store("off") is None
+        mmap_store = build_plan_store("mmap", tmp_path / "plans")
+        assert isinstance(mmap_store, MmapPlanStore)
+        shm_store = build_plan_store("shm")
+        assert isinstance(shm_store, SharedMemoryPlanStore)
+        shm_store.close()
+
+    def test_invalid_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="shared_store_mode"):
+            build_plan_store("nfs", tmp_path)
+        with pytest.raises(ValueError, match="directory"):
+            build_plan_store("mmap")

@@ -90,3 +90,112 @@ class TestPersistence:
         assert "orphan" not in registry
         assert len(registry) == 0
         assert registry.list() == []
+
+
+class TestLRUCache:
+    def test_eviction_respects_bound(self, tmp_path, released_model):
+        from repro.telemetry import metrics
+
+        evictions = metrics.REGISTRY.counter("dpcopula_registry_evictions_total")
+        before = evictions.value()
+        registry = ModelRegistry(tmp_path / "models", max_cached_models=2)
+        for model_id in ("m1", "m2", "m3"):
+            registry.put(
+                released_model, dataset_id="d", method="kendall", model_id=model_id
+            )
+        assert registry.cached_models() == 2
+        assert evictions.value() == before + 1
+
+    def test_evicted_model_reloads_from_disk(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models", max_cached_models=1)
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m2")
+        # m1 was evicted; a get must transparently reload it.
+        loaded = registry.get("m1")
+        np.testing.assert_allclose(loaded.correlation, released_model.correlation)
+        assert registry.cached_models() == 1
+
+    def test_lru_order_touched_by_get(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models", max_cached_models=2)
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m2")
+        registry.get("m1")  # m1 becomes most-recent; m2 is now the LRU
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m3")
+        registry.get("m1")  # still cached: no disk load needed
+        assert registry.cached_models() == 2
+
+    def test_unbounded_cache(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models", max_cached_models=None)
+        for i in range(5):
+            registry.put(
+                released_model, dataset_id="d", method="kendall", model_id=f"m{i}"
+            )
+        assert registry.cached_models() == 5
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_cached_models"):
+            ModelRegistry(tmp_path / "models", max_cached_models=0)
+
+
+class TestPlansAndHotSwap:
+    def test_get_plan_compiled_once_and_cached(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        first = registry.get_plan("m1")
+        assert first is registry.get_plan("m1")
+        assert first.model_id == "m1"
+        assert first.generation == registry.generation("m1") == 1
+
+    def test_plan_samples_bitwise_like_model(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        plan = registry.get_plan("m1")
+        np.testing.assert_array_equal(
+            plan.sample(100, np.random.default_rng(3)).values,
+            released_model.sample(100, rng=np.random.default_rng(3)).values,
+        )
+
+    def test_replace_bumps_generation_and_plan(
+        self, tmp_path, released_model, small_dataset
+    ):
+        from repro.core.dpcopula import DPCopulaKendall
+        from repro.io import ReleasedModel
+
+        registry = ModelRegistry(tmp_path / "models")
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        stale = registry.get_plan("m1")
+
+        swapped = ReleasedModel.from_synthesizer(
+            DPCopulaKendall(epsilon=2.0, rng=9).fit(small_dataset)
+        )
+        record = registry.replace("m1", swapped)
+        assert record.epsilon == swapped.epsilon
+        assert registry.generation("m1") == 2
+
+        fresh = registry.get_plan("m1")
+        assert fresh is not stale
+        assert fresh.generation == 2
+        np.testing.assert_array_equal(
+            fresh.sample(50, np.random.default_rng(1)).values,
+            swapped.sample(50, rng=np.random.default_rng(1)).values,
+        )
+        # The durable payload was swapped too: a fresh process sees it.
+        rebooted = ModelRegistry(tmp_path / "models")
+        np.testing.assert_allclose(
+            rebooted.get("m1").correlation, swapped.correlation
+        )
+
+    def test_replace_unknown_id(self, tmp_path, released_model):
+        registry = ModelRegistry(tmp_path / "models")
+        with pytest.raises(KeyError):
+            registry.replace("nope", released_model)
+
+    def test_generation_survives_eviction(self, tmp_path, released_model):
+        """Eviction must not reset generations (stale-plan invalidation)."""
+        registry = ModelRegistry(tmp_path / "models", max_cached_models=1)
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m1")
+        registry.replace("m1", released_model)
+        assert registry.generation("m1") == 2
+        registry.put(released_model, dataset_id="d", method="kendall", model_id="m2")
+        assert registry.cached_models() == 1  # m1 evicted
+        assert registry.get_plan("m1").generation == 2

@@ -153,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8639, help="bind port")
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pre-fork HTTP worker processes sharing the port via "
+        "SO_REUSEPORT (default: DPCOPULA_WORKERS env var, else 1 — the "
+        "single-process server); worker 0 owns fitting, every worker "
+        "serves sampling",
+    )
+    serve.add_argument(
         "--epsilon-cap",
         type=float,
         default=10.0,
@@ -237,10 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shared-store",
         choices=("off", "mmap", "shm"),
-        default="off",
+        default=None,
         help="publish compiled sampler plans for pooled workers: "
         "memory-mapped files under <data-dir>/plans, or "
-        "multiprocessing shared memory (default off: process-local plans)",
+        "multiprocessing shared memory (default: mmap when --workers > 1 "
+        "so the fleet serves one physical copy per plan, else off)",
     )
     serve.add_argument(
         "--model-cache-size",
@@ -391,26 +401,43 @@ def _inspect(args) -> int:
 
 
 def _serve(args) -> int:
-    from repro.service import ServiceConfig, SynthesisService, build_server
-
-    service = SynthesisService(
-        ServiceConfig(
-            data_dir=args.data_dir,
-            epsilon_cap=args.epsilon_cap,
-            fit_workers=args.fit_workers,
-            parallel_backend=args.parallel_backend,
-            parallel_workers=args.parallel_workers,
-            log_level=args.log_level,
-            max_queued_fits=args.max_queued_fits or None,
-            fit_timeout_seconds=args.fit_timeout,
-            request_timeout_seconds=args.request_timeout or None,
-            coalesce_window_seconds=args.coalesce_window,
-            max_coalesced_records=args.max_coalesced_records,
-            sample_queue_limit=args.sample_queue_limit or None,
-            shared_store_mode=args.shared_store,
-            model_cache_size=args.model_cache_size or None,
-        )
+    from repro.service import (
+        ServiceConfig,
+        SynthesisService,
+        build_server,
+        resolve_worker_count,
     )
+
+    try:
+        workers = resolve_worker_count(args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shared_store = args.shared_store
+    if shared_store is None:
+        # A fleet without a shared store would compile every plan once
+        # per process; default to one mmap copy per machine instead.
+        shared_store = "mmap" if workers > 1 else "off"
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        epsilon_cap=args.epsilon_cap,
+        fit_workers=args.fit_workers,
+        parallel_backend=args.parallel_backend,
+        parallel_workers=args.parallel_workers,
+        log_level=args.log_level,
+        max_queued_fits=args.max_queued_fits or None,
+        fit_timeout_seconds=args.fit_timeout,
+        request_timeout_seconds=args.request_timeout or None,
+        coalesce_window_seconds=args.coalesce_window,
+        max_coalesced_records=args.max_coalesced_records,
+        sample_queue_limit=args.sample_queue_limit or None,
+        shared_store_mode=shared_store,
+        model_cache_size=args.model_cache_size or None,
+        workers=workers,
+    )
+    if workers > 1:
+        return _serve_prefork(args, config, workers)
+    service = SynthesisService(config)
     server = build_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
@@ -444,6 +471,52 @@ def _serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+    return 0
+
+
+def _serve_prefork(args, config, workers: int) -> int:
+    """Run the pre-fork fleet: supervisor in this process, N workers."""
+    from repro.service.prefork import SUPPORTS_REUSE_PORT, PreforkServer
+
+    supervisor = PreforkServer(
+        config,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+    )
+    supervisor.start()
+    mode = "SO_REUSEPORT" if SUPPORTS_REUSE_PORT else "inherited listener"
+    print(
+        f"synthesis service listening on http://{args.host}:{supervisor.port} "
+        f"({workers} workers, {mode})"
+    )
+    print(f"data directory: {args.data_dir} (ε cap {args.epsilon_cap:g}/dataset)")
+    print(
+        f"worker 0 owns fitting ({args.fit_workers} fit worker(s)); "
+        f"shared plan store: {config.shared_store_mode}"
+    )
+    print(
+        "endpoints: /health /healthz /metrics /datasets /fits /models "
+        "— see docs/SERVICE.md and docs/OBSERVABILITY.md"
+    )
+
+    def _stop(signum, frame):  # pragma: no cover - signal delivery timing
+        print(
+            "\nSIGTERM: draining workers (queued jobs stay journaled)",
+            file=sys.stderr,
+        )
+        supervisor.request_stop()
+
+    try:
+        signal.signal(signal.SIGTERM, _stop)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
+    try:
+        supervisor.watch()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        supervisor.stop()
     return 0
 
 

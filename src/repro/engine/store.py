@@ -29,8 +29,10 @@ the same, only their backing storage differs.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import threading
+import uuid
 from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
@@ -67,9 +69,14 @@ class MmapPlanStore:
             manifest.json      metadata + array dtypes/shapes
             cholesky.npy       ... one file per plan array ...
 
-    The manifest is written last, so its existence commits a complete
-    publication; a crash mid-publish leaves an invisible partial
-    directory that the next publish simply overwrites.
+    Publication is **multi-process safe**: each publisher stages the
+    whole generation in a private ``gen-N.tmp-<pid>-<nonce>`` directory
+    and commits it with one ``os.rename``.  When several pre-fork
+    workers publish the same generation concurrently, exactly one
+    rename wins; losers discard their staging copy and serve the
+    winner's bytes (which are bitwise identical).  A crash mid-publish
+    leaves only an invisible staging directory — never a torn
+    generation.
     """
 
     backend = "mmap"
@@ -94,25 +101,51 @@ class MmapPlanStore:
             if cached is not None and cached[0] == plan.generation:
                 return cached[1]
             target = self._generation_dir(plan.model_id, plan.generation)
-            manifest_path = target / "manifest.json"
-            if not manifest_path.exists():
-                target.mkdir(parents=True, exist_ok=True)
-                manifest: Dict[str, Any] = dict(plan.metadata())
-                manifest["arrays"] = {}
-                for name, array in plan.arrays().items():
-                    np.save(target / f"{name}.npy", array)
-                    manifest["arrays"][name] = {
-                        "dtype": str(array.dtype),
-                        "shape": list(array.shape),
-                    }
-                manifest_path.write_text(
-                    json.dumps(manifest, sort_keys=True, indent=2) + "\n"
-                )
-                _PUBLISHED.inc(backend=self.backend)
-            shared = self._load_locked(plan.model_id, plan.generation)
+            if not (target / "manifest.json").exists():
+                self._write_generation(plan, target)
+            try:
+                shared = self._load_locked(plan.model_id, plan.generation)
+            except (OSError, KeyError, ValueError):
+                # A sibling process retired this generation between our
+                # commit and the load (it published a newer one).  The
+                # caller's local plan carries the same bytes.
+                return plan
             self._cache[plan.model_id] = (plan.generation, shared)
             self._retire_older_locked(plan.model_id, plan.generation)
             return shared
+
+    def _write_generation(self, plan: SamplerPlan, target: Path) -> None:
+        """Stage the generation privately, then commit with one rename."""
+        staging = target.with_name(
+            f"{target.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        staging.mkdir(parents=True, exist_ok=True)
+        try:
+            manifest: Dict[str, Any] = dict(plan.metadata())
+            manifest["arrays"] = {}
+            for name, array in plan.arrays().items():
+                np.save(staging / f"{name}.npy", array)
+                manifest["arrays"][name] = {
+                    "dtype": str(array.dtype),
+                    "shape": list(array.shape),
+                }
+            (staging / "manifest.json").write_text(
+                json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+            )
+            try:
+                os.rename(staging, target)
+            except OSError:
+                # Lost the commit race: a sibling's complete directory
+                # already occupies the target.  Its bytes are identical;
+                # drop our staging copy and serve the winner's.
+                shutil.rmtree(staging, ignore_errors=True)
+                if not (target / "manifest.json").exists():
+                    raise
+                return
+            _PUBLISHED.inc(backend=self.backend)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
 
     def _load_locked(self, model_id: str, generation: int) -> SamplerPlan:
         target = self._generation_dir(model_id, generation)
@@ -122,6 +155,33 @@ class MmapPlanStore:
             for name in manifest["arrays"]
         }
         return SamplerPlan.from_arrays(arrays, manifest)
+
+    def load(self, model_id: str) -> SamplerPlan:
+        """Attach to the newest committed generation of ``model_id``.
+
+        For readers that did not publish themselves (e.g. a pre-fork
+        worker attaching to the fit owner's publication): scans the
+        model's generation directories and memory-maps the highest one
+        whose manifest is committed.  Raises ``KeyError`` when nothing
+        is published.
+        """
+        with self._lock:
+            model_dir = self.directory / model_id
+            newest: Optional[int] = None
+            for candidate in model_dir.glob("gen-*"):
+                if not (candidate / "manifest.json").exists():
+                    continue
+                try:
+                    generation = int(candidate.name.split("-", 1)[1])
+                except (IndexError, ValueError):
+                    continue
+                if newest is None or generation > newest:
+                    newest = generation
+            if newest is None:
+                raise KeyError(f"no plan published for model {model_id!r}")
+            shared = self._load_locked(model_id, newest)
+            self._cache[model_id] = (newest, shared)
+            return shared
 
     def _retire_older_locked(self, model_id: str, generation: int) -> None:
         model_dir = self.directory / model_id

@@ -11,7 +11,9 @@ the library into that server:
   a per-dataset lifetime cap across process restarts;
 * :class:`FitWorker` runs fits on a background queue with job polling;
 * :class:`SynthesisService` + :func:`build_server` expose it all as a
-  concurrent, stdlib-only JSON HTTP API (``dpcopula serve``).
+  concurrent, stdlib-only JSON HTTP API (``dpcopula serve``);
+* :class:`PreforkServer` scales that API across N worker processes
+  sharing one port (``dpcopula serve --workers N``).
 """
 
 from repro.service.accountant import PrivacyAccountant
@@ -26,6 +28,7 @@ from repro.service.errors import (
 )
 from repro.service.http import build_server
 from repro.service.jobs import FitJob, FitWorker, JobStatus
+from repro.service.prefork import PreforkServer, resolve_worker_count
 from repro.service.registry import ModelRecord, ModelRegistry
 from repro.service.serializers import dataset_summary, dataset_to_rows
 
@@ -40,6 +43,8 @@ __all__ = [
     "ValidationError",
     "BudgetRefusedError",
     "build_server",
+    "PreforkServer",
+    "resolve_worker_count",
     "FitJob",
     "FitWorker",
     "JobStatus",

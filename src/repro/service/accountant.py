@@ -30,6 +30,17 @@ Resilience semantics (see docs/RELIABILITY.md):
   newline-terminated state so later appends start on a fresh line;
   corruption anywhere *else* still refuses startup, because a ledger
   we cannot read in the middle is a ledger we cannot trust.
+* **Inter-process safety** — pre-fork serving runs one accountant per
+  worker process over the *same* ledger file.  Every mutation
+  (append, tail repair) happens under an ``fcntl.flock`` on a
+  sidecar lock file, and before deciding anything under that lock the
+  accountant **catches up**: it replays whatever bytes sibling
+  processes appended since its last read (deduplicated by idempotency
+  key, exactly like startup replay).  The cap check therefore always
+  runs against the union of every process's charges — two workers
+  racing the last slice of a dataset's budget cannot jointly overdraw
+  it.  Read paths (``spent``, ``summary``...) catch up lazily when
+  the file has grown, so every worker's budget view converges.
 """
 
 from __future__ import annotations
@@ -38,8 +49,14 @@ import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.dp.budget import BudgetExhaustedError, PrivacyBudget
 from repro.service.config import PathLike
@@ -84,96 +101,142 @@ class PrivacyAccountant:
 
     def __init__(self, ledger_path: PathLike, epsilon_cap: float):
         self.ledger_path = Path(ledger_path)
+        self.lock_path = self.ledger_path.with_name(self.ledger_path.name + ".lock")
         self.epsilon_cap = check_positive("epsilon_cap", epsilon_cap)
         self._lock = threading.Lock()
         self._entries: List[Dict[str, Any]] = []
         self._budgets: Dict[str, PrivacyBudget] = {}
         self._keys: set = set()
-        self._replay()
+        # Bytes of the ledger already applied in-memory; everything past
+        # it was appended by a sibling process and is replayed on the
+        # next catch-up.  Complete lines only: a torn fragment is never
+        # consumed until it is repaired.
+        self._offset = 0
+        self._lineno = 0
+        with self._lock, self._interprocess_lock():
+            self._catch_up_locked(startup=True)
 
-    def _replay(self) -> None:
-        """Rebuild per-dataset ledgers from the journal file.
+    @contextmanager
+    def _interprocess_lock(self):
+        """Exclusive ``fcntl.flock`` over the ledger's sidecar lock file.
 
-        A truncated *final* line (torn append from a crash mid-write) is
-        dropped with a warning — the matching in-memory charge was
-        rolled back when the append raised, so the entry never took
-        effect — and the file itself is repaired (truncated back to the
-        last complete line, or newline-terminated if the tail parsed),
-        so the next append starts on a fresh line instead of
-        concatenating onto the leftover fragment.  Torn tails are
-        recognized by the missing trailing newline (each append writes
-        ``json + "\\n"`` in one call, so an interrupted one never
-        reaches the newline); a *complete* line that fails to parse —
-        anywhere, including last — aborts startup.
+        Serializes appends, tail repairs and catch-up replay across
+        *processes* (the ``threading.Lock`` only covers this process).
+        Closing the descriptor releases the lock, so a crashed holder
+        can never wedge its siblings.  No-op where ``fcntl`` does not
+        exist (non-POSIX) — there the accountant is single-process
+        only, matching the pre-fork server's platform support.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        self.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)
 
-        Replay applies the same idempotency rule as :meth:`charge` /
+    def _maybe_refresh_locked(self) -> None:
+        """Catch up on sibling appends iff the file grew (thread lock held).
+
+        A bare ``stat`` is the fast path: when the ledger's size equals
+        the bytes we already consumed nothing new exists and no flock
+        is taken.
+        """
+        try:
+            size = self.ledger_path.stat().st_size
+        except (FileNotFoundError, OSError):
+            return
+        if size != self._offset:
+            with self._interprocess_lock():
+                self._catch_up_locked()
+
+    def _catch_up_locked(self, startup: bool = False) -> None:
+        """Apply every ledger entry past ``self._offset`` (both locks held).
+
+        This is startup replay *and* inter-process catch-up: the first
+        call consumes the whole file, later calls only the bytes
+        sibling processes appended since.  A truncated *final* line
+        (torn append from a crash mid-write) is dropped with a warning
+        — the matching in-memory charge was rolled back when the
+        append raised, so the entry never took effect — and the file
+        itself is repaired (truncated back to the last complete line,
+        or newline-terminated if the tail parsed), so the next append
+        starts on a fresh line instead of concatenating onto the
+        leftover fragment.  Torn tails are recognized by the missing
+        trailing newline (each append writes ``json + "\\n"`` in one
+        call, so an interrupted one never reaches the newline); a
+        *complete* line that fails to parse — anywhere, including last
+        — raises, because a ledger we cannot read is a ledger we
+        cannot trust.  Repairing under the flock is safe: every live
+        appender holds it, so a torn tail can only belong to a dead
+        writer.
+
+        Catch-up applies the same idempotency rule as :meth:`charge` /
         :meth:`refund`: an entry whose key is already journaled is
         skipped, so a retried append whose first attempt did reach disk
         (e.g. an fsync error after a successful write) cannot
-        double-count on restart.
+        double-count on restart, and a sibling's replay of our own
+        entries cannot double-count either.
         """
         if not self.ledger_path.exists():
             return
-        text = self.ledger_path.read_text()
-        torn_tail = bool(text) and not text.endswith("\n")
-        dropped_tail = False
-        lines = text.split("\n")
-        while lines and not lines[-1].strip():
-            lines.pop()
-        for lineno, line in enumerate(lines, start=1):
-            line = line.strip()
-            if not line:
+        with self.ledger_path.open("rb") as handle:
+            handle.seek(self._offset)
+            raw = handle.read()
+        if not raw:
+            return
+        text = raw.decode("utf-8")
+        torn_tail = not text.endswith("\n")
+        complete, _, fragment = text.rpartition("\n")
+        lines = complete.split("\n") if complete else []
+        for line in lines:
+            self._lineno += 1
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                entry = json.loads(line)
-                dataset = str(entry["dataset"])
-                epsilon = float(entry["epsilon"])
+                entry = json.loads(stripped)
+                str(entry["dataset"])
+                float(entry["epsilon"])
             except (ValueError, KeyError, TypeError) as exc:
-                if torn_tail and lineno == len(lines):
-                    _logger.warning(
-                        "dropping truncated trailing ledger line",
-                        extra={"ledger": str(self.ledger_path), "line": lineno},
-                    )
-                    dropped_tail = True
-                    break
-                # A ledger we cannot read is a ledger we cannot
-                # trust; refusing to start is the only safe default.
                 raise ValueError(
                     f"privacy ledger {self.ledger_path} is corrupt at "
-                    f"line {lineno}: {exc}"
+                    f"line {self._lineno}: {exc}"
                 ) from exc
-            key = str(entry["key"]) if entry.get("key") else None
-            if key is not None and key in self._keys:
-                _logger.warning(
-                    "skipping duplicate ledger entry on replay",
-                    extra={
-                        "ledger": str(self.ledger_path),
-                        "line": lineno,
-                        "key": key,
-                    },
-                )
-                continue
-            self._entries.append(entry)
-            if key is not None:
-                self._keys.add(key)
-            budget = self._budgets.setdefault(
-                dataset, PrivacyBudget(self.epsilon_cap)
-            )
-            label = str(entry.get("label", ""))
-            if entry.get("kind", "charge") == "refund":
-                budget.spent = max(0.0, budget.spent - epsilon)
-                budget.log.append((label, -epsilon))
-            else:
-                # Historic spends are facts: replay them verbatim even
-                # when they overdraw a since-lowered cap.
-                budget.spent += epsilon
-                budget.log.append((label, epsilon))
+            self._apply_locked(entry)
+        self._offset += len(complete.encode("utf-8")) + (1 if complete else 0)
         if torn_tail:
-            self._repair_torn_tail(text, dropped=dropped_tail)
+            dropped = True
+            stripped = fragment.strip()
+            if stripped:
+                try:
+                    entry = json.loads(stripped)
+                    str(entry["dataset"])
+                    float(entry["epsilon"])
+                except (ValueError, KeyError, TypeError):
+                    self._lineno += 1
+                    _logger.warning(
+                        "dropping truncated trailing ledger line",
+                        extra={
+                            "ledger": str(self.ledger_path),
+                            "line": self._lineno,
+                        },
+                    )
+                else:
+                    # The tail is a complete entry whose append died
+                    # between the write and the newline: keep it.
+                    self._lineno += 1
+                    self._apply_locked(entry)
+                    self._offset += len(fragment.encode("utf-8"))
+                    dropped = False
+            self._repair_torn_tail_locked(dropped=dropped)
         for dataset, budget in self._budgets.items():
             _EPS_SPENT.set(budget.spent, dataset=dataset)
             _EPS_REMAINING.set(budget.remaining, dataset=dataset)
-        if self._budgets:
+        if startup and self._budgets:
             _logger.info(
                 "privacy ledger replayed",
                 extra={
@@ -183,21 +246,58 @@ class PrivacyAccountant:
                 },
             )
 
+    def _apply_locked(self, entry: Dict[str, Any]) -> None:
+        """Fold one journaled entry into the in-memory ledgers."""
+        key = str(entry["key"]) if entry.get("key") else None
+        if key is not None and key in self._keys:
+            _logger.warning(
+                "skipping duplicate ledger entry on replay",
+                extra={
+                    "ledger": str(self.ledger_path),
+                    "line": self._lineno,
+                    "key": key,
+                },
+            )
+            return
+        self._entries.append(entry)
+        if key is not None:
+            self._keys.add(key)
+        dataset = str(entry["dataset"])
+        epsilon = float(entry["epsilon"])
+        budget = self._budgets.setdefault(dataset, PrivacyBudget(self.epsilon_cap))
+        label = str(entry.get("label", ""))
+        if entry.get("kind", "charge") == "refund":
+            budget.spent = max(0.0, budget.spent - epsilon)
+            budget.log.append((label, -epsilon))
+        else:
+            # Historic spends are facts: replay them verbatim even
+            # when they overdraw a since-lowered cap.
+            budget.spent += epsilon
+            budget.log.append((label, epsilon))
+
     def spent(self, dataset_id: str) -> float:
         """Cumulative ε already charged to ``dataset_id``."""
         with self._lock:
+            self._maybe_refresh_locked()
             budget = self._budgets.get(dataset_id)
             return budget.spent if budget is not None else 0.0
 
     def remaining(self, dataset_id: str) -> float:
         """ε still available to ``dataset_id`` under the cap."""
         with self._lock:
+            self._maybe_refresh_locked()
             budget = self._budgets.get(dataset_id)
             return budget.remaining if budget is not None else self.epsilon_cap
 
     def can_charge(self, dataset_id: str, epsilon: float) -> bool:
-        """Whether a charge of ``epsilon`` would fit under the cap."""
+        """Whether a charge of ``epsilon`` would fit under the cap.
+
+        Advisory in a multi-process fleet: the authoritative check runs
+        inside :meth:`charge` under the inter-process lock; this one
+        merely catches up first so refusals are as fresh as possible.
+        """
         with self._lock:
+            self._maybe_refresh_locked()
             budget = self._budgets.get(dataset_id)
             if budget is None:
                 budget = PrivacyBudget(self.epsilon_cap)
@@ -206,6 +306,7 @@ class PrivacyAccountant:
     def has_key(self, key: str) -> bool:
         """Whether an entry with idempotency ``key`` is already journaled."""
         with self._lock:
+            self._maybe_refresh_locked()
             return key in self._keys
 
     def charge(
@@ -228,7 +329,11 @@ class PrivacyAccountant:
         their job id here so re-execution never double-charges.
         """
         check_positive("epsilon", epsilon)
-        with self._lock:
+        with self._lock, self._interprocess_lock():
+            # Catch up on sibling processes' appends *inside* the flock:
+            # the cap check below must see every charge any process has
+            # journaled, or two workers could jointly overdraw it.
+            self._catch_up_locked()
             if key is not None and key in self._keys:
                 _logger.info(
                     "charge skipped: idempotency key already journaled",
@@ -261,7 +366,8 @@ class PrivacyAccountant:
             if key is not None:
                 entry["key"] = key
             try:
-                self._append(entry)
+                self._offset += self._append(entry)
+                self._lineno += 1
             except BaseException:
                 # The journal is the source of truth: a spend we could
                 # not record must not count against future charges.
@@ -307,7 +413,8 @@ class PrivacyAccountant:
         :meth:`charge`, refunds are idempotent under ``key``.
         """
         check_positive("epsilon", epsilon)
-        with self._lock:
+        with self._lock, self._interprocess_lock():
+            self._catch_up_locked()
             if key is not None and key in self._keys:
                 return 0.0
             budget = self._budgets.setdefault(
@@ -322,7 +429,8 @@ class PrivacyAccountant:
             }
             if key is not None:
                 entry["key"] = key
-            self._append(entry)
+            self._offset += self._append(entry)
+            self._lineno += 1
             budget.spent = max(0.0, budget.spent - float(epsilon))
             budget.log.append((label, -float(epsilon)))
             self._entries.append(entry)
@@ -341,23 +449,23 @@ class PrivacyAccountant:
             )
             return float(epsilon)
 
-    def _repair_torn_tail(self, text: str, dropped: bool) -> None:
+    def _repair_torn_tail_locked(self, dropped: bool) -> None:
         """Restore the newline-terminated invariant after a torn append.
 
-        Replay tolerates a torn tail in memory, but ``_append`` opens
+        Catch-up tolerates a torn tail in memory, but ``_append`` opens
         the file in append mode: left unrepaired, the first
         post-recovery entry would concatenate onto the leftover
         fragment, producing one merged line that ends with a newline —
         unreadable, and no longer recognizable as torn — so the *next*
-        restart would refuse to start.  Repair before accepting writes:
-        truncate the dropped fragment away, or (when the tail parsed as
-        a complete entry that was replayed) complete it with the
-        newline its append never reached.
+        restart would refuse to start.  Repair before accepting writes
+        (the flock is held, so only a dead writer's fragment can be
+        here): truncate the dropped fragment away, or (when the tail
+        parsed as a complete entry that was replayed) complete it with
+        the newline its append never reached.
         """
         if dropped:
-            keep = text[: text.rfind("\n") + 1]
             with self.ledger_path.open("r+b") as handle:
-                handle.truncate(len(keep.encode("utf-8")))
+                handle.truncate(self._offset)
                 handle.flush()
                 os.fsync(handle.fileno())
         else:
@@ -365,6 +473,7 @@ class PrivacyAccountant:
                 handle.write("\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+            self._offset += 1
         _logger.warning(
             "repaired torn ledger tail",
             extra={
@@ -373,19 +482,23 @@ class PrivacyAccountant:
             },
         )
 
-    def _append(self, entry: Dict[str, Any]) -> None:
+    def _append(self, entry: Dict[str, Any]) -> int:
+        """Durably append one entry; returns the bytes written."""
         from repro.resilience import faults
 
         faults.inject("ledger.append")
         self.ledger_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.ledger_path.open("a") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        with self.ledger_path.open("ab") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+        return len(data)
 
     def entries(self, dataset_id: Optional[str] = None) -> List[Dict[str, Any]]:
         """Journal entries, optionally restricted to one dataset."""
         with self._lock:
+            self._maybe_refresh_locked()
             if dataset_id is None:
                 return [dict(e) for e in self._entries]
             return [dict(e) for e in self._entries if e["dataset"] == dataset_id]
@@ -393,6 +506,7 @@ class PrivacyAccountant:
     def summary(self, dataset_id: str) -> Dict[str, Any]:
         """JSON-ready accounting state for one dataset."""
         with self._lock:
+            self._maybe_refresh_locked()
             budget = self._budgets.get(dataset_id)
             spent = budget.spent if budget is not None else 0.0
             remaining = budget.remaining if budget is not None else self.epsilon_cap

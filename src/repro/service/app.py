@@ -22,11 +22,21 @@ Resilience (docs/RELIABILITY.md): every fit job is journaled durably
 double-charge), checkpointed per stage, and recovered on startup —
 interrupted jobs resume from their checkpoints and draw bitwise the
 noise an uninterrupted run would have drawn.
+
+Pre-fork fleets (docs/SERVICE.md): when the config carries a
+``worker_index``, exactly worker 0 — the **fit owner** — runs the fit
+pool, startup recovery and a journal poller; every other worker serves
+reads and sampling itself but *journals* fit submissions as ``queued``
+records that the owner's poller picks up within a poll interval.  The
+durable journal is thereby both the queue and the API: ``job_status`` /
+``list_jobs`` / ``cancel_job`` already fall back to it, so any worker
+answers for any job.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Any, Dict, List, Optional
 
@@ -137,14 +147,41 @@ class SynthesisService:
         self.context = ExecutionContext(
             backend=config.parallel_backend, max_workers=config.parallel_workers
         )
-        self.worker = FitWorker(
-            self._execute_fit,
-            max_workers=config.fit_workers,
-            max_queue=config.max_queued_fits,
-            job_timeout=config.fit_timeout_seconds,
-            journal=self.journal,
-        )
-        self._recover_jobs()
+        self._poller_stop = threading.Event()
+        self._poller: Optional[threading.Thread] = None
+        self._jobs_dir_mtime: Optional[int] = None
+        if config.is_fit_owner:
+            self.worker: Optional[FitWorker] = FitWorker(
+                self._execute_fit,
+                max_workers=config.fit_workers,
+                max_queue=config.max_queued_fits,
+                job_timeout=config.fit_timeout_seconds,
+                journal=self.journal,
+            )
+            self._recover_jobs()
+            if config.multi_worker:
+                # Followers journal fit submissions; the owner's poller
+                # turns those durable records into queued work.
+                self._poller = threading.Thread(
+                    target=self._poll_follower_submissions,
+                    name="dpcopula-fit-journal-poller",
+                    daemon=True,
+                )
+                self._poller.start()
+        else:
+            # Follower worker: no fit pool — submissions are journaled
+            # for the owner, everything else is served locally.
+            self.worker = None
+        self._metrics_flusher = None
+        if config.multi_worker and config.worker_index is not None:
+            from repro.telemetry.aggregate import MetricsFlusher
+
+            self._metrics_flusher = MetricsFlusher(
+                metrics.REGISTRY,
+                config.metrics_dir,
+                config.worker_index,
+                interval=config.metrics_flush_seconds,
+            ).start()
 
     # -- datasets ---------------------------------------------------------
 
@@ -233,6 +270,34 @@ class SynthesisService:
             k=k,
             seed=seed,
         )
+        if self.worker is None:
+            # Follower worker in a pre-fork fleet: the journal *is* the
+            # queue.  Enforce the same waiting-job bound the owner's
+            # in-memory queue would, then journal the record for the
+            # owner's poller to pick up.
+            bound = self.config.max_queued_fits
+            if bound is not None:
+                queued = sum(1 for r in self.journal.list() if r.state == "queued")
+                if queued >= bound:
+                    raise QueueFullError(
+                        f"fit queue is full ({bound} jobs waiting); retry later",
+                        retry_after=5.0,
+                    )
+            record = self.journal.create(
+                JobRecord(
+                    job_id=job.job_id,
+                    dataset_id=dataset_id,
+                    method=method,
+                    epsilon=epsilon,
+                    k=k,
+                    seed=seed,
+                )
+            )
+            _logger.info(
+                "fit submission journaled for the fit owner",
+                extra={"job_id": job.job_id, "dataset": dataset_id},
+            )
+            return self._job_view(record)
         # Journal before enqueueing so the worker can never observe an
         # unjournaled job; a queue-full refusal takes the record back.
         self.journal.create(
@@ -286,6 +351,48 @@ class SynthesisService:
                     "stages_done": record.stages_done,
                 },
             )
+
+    #: How often the fit owner scans the journal for follower
+    #: submissions (seconds).  A directory-mtime guard makes the idle
+    #: cost one ``stat`` per interval.
+    JOURNAL_POLL_SECONDS = 0.2
+
+    def _poll_follower_submissions(self) -> None:
+        """Fit-owner loop: adopt ``queued`` journal records it never saw.
+
+        Followers create those records in :meth:`submit_fit`; recovery
+        wrote the rest.  ``submit(force=True)`` bypasses the in-memory
+        bound because the journal already admitted the job — refusing
+        here would strand a record the client was told is queued.
+        """
+        while not self._poller_stop.wait(self.JOURNAL_POLL_SECONDS):
+            try:
+                mtime = os.stat(self.config.jobs_dir).st_mtime_ns
+            except OSError:
+                continue
+            if mtime == self._jobs_dir_mtime:
+                continue
+            self._jobs_dir_mtime = mtime
+            try:
+                for record in self.journal.list():
+                    if record.state != "queued" or self.worker.known(record.job_id):
+                        continue
+                    job = FitJob(
+                        job_id=record.job_id,
+                        dataset_id=record.dataset_id,
+                        method=record.method,
+                        epsilon=record.epsilon,
+                        k=record.k,
+                        seed=record.seed,
+                        submitted_at=record.submitted_at,
+                    )
+                    self.worker.submit(job, force=True)
+                    _logger.info(
+                        "adopted follower fit submission",
+                        extra={"job_id": record.job_id},
+                    )
+            except Exception:  # pragma: no cover - defensive
+                _logger.exception("journal poll failed")
 
     def _execute_fit(self, job: FitJob) -> str:
         """Worker entry point: charge the ledger, fit, register.
@@ -428,13 +535,15 @@ class SynthesisService:
         at their next stage boundary.  Finished jobs are left untouched
         (the flag is recorded but has no effect).  Returns the job view.
         """
-        try:
-            job = self.worker.request_cancel(job_id)
-            return job.to_dict()
-        except KeyError:
-            pass
-        # Not in worker memory (e.g. journaled by a previous process):
-        # flag it in the journal so a restart won't resurrect it.
+        if self.worker is not None:
+            try:
+                job = self.worker.request_cancel(job_id)
+                return job.to_dict()
+            except KeyError:
+                pass
+        # Not in worker memory (e.g. journaled by a previous process,
+        # or this is a follower worker): flag it in the journal so the
+        # owner/restart won't resurrect it.
         try:
             record = self.journal.request_cancel(job_id)
         except KeyError as exc:
@@ -465,10 +574,11 @@ class SynthesisService:
         }
 
     def job_status(self, job_id: str) -> Dict[str, Any]:
-        try:
-            return self.worker.get(job_id).to_dict()
-        except KeyError:
-            pass
+        if self.worker is not None:
+            try:
+                return self.worker.get(job_id).to_dict()
+            except KeyError:
+                pass
         try:
             return self._job_view(self.journal.load(job_id))
         except KeyError as exc:
@@ -476,7 +586,11 @@ class SynthesisService:
 
     def list_jobs(self) -> List[Dict[str, Any]]:
         """All known jobs: live worker state plus journal-only history."""
-        views = {job.job_id: job.to_dict() for job in self.worker.list()}
+        views = (
+            {job.job_id: job.to_dict() for job in self.worker.list()}
+            if self.worker is not None
+            else {}
+        )
         for record in self.journal.list():
             if record.job_id not in views:
                 views[record.job_id] = self._job_view(record)
@@ -558,22 +672,52 @@ class SynthesisService:
     # -- observability ----------------------------------------------------
 
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """JSON view of every registered metric (refreshes live gauges)."""
+        """JSON view of every registered metric (refreshes live gauges).
+
+        In a pre-fork fleet the view aggregates every worker's snapshot
+        file, with a ``worker`` label on each series — a scrape routed
+        to any worker sees the whole fleet.
+        """
         self._refresh_gauges()
+        if self._metrics_flusher is not None:
+            from repro.telemetry.aggregate import (
+                aggregate_snapshot,
+                read_worker_snapshots,
+            )
+
+            self._metrics_flusher.flush()
+            return aggregate_snapshot(
+                read_worker_snapshots(self.config.metrics_dir)
+            )
         return metrics.REGISTRY.snapshot()
 
     def metrics_text(self) -> str:
         """Prometheus text-exposition view of the metrics registry."""
         self._refresh_gauges()
+        if self._metrics_flusher is not None:
+            from repro.telemetry.aggregate import (
+                read_worker_snapshots,
+                render_prometheus_multi,
+            )
+
+            self._metrics_flusher.flush()
+            return render_prometheus_multi(
+                read_worker_snapshots(self.config.metrics_dir)
+            )
         return metrics.REGISTRY.render_prometheus()
 
     def _refresh_gauges(self) -> None:
         # Queue depth is scrape-time state, not event-time state: refresh
         # it here so an idle-but-backed-up queue cannot go stale.
+        queue_depth = (
+            self.worker.queue_depth()
+            if self.worker is not None
+            else sum(1 for r in self.journal.list() if r.state == "queued")
+        )
         metrics.REGISTRY.gauge(
             "dpcopula_fit_queue_depth",
             "Fit jobs waiting in the worker queue (excludes the running job)",
-        ).set(self.worker.queue_depth())
+        ).set(queue_depth)
         metrics.REGISTRY.gauge(
             "dpcopula_engine_pending_requests",
             "Sample requests parked in the coalescer awaiting a batch",
@@ -591,8 +735,10 @@ class SynthesisService:
         journal privacy spends (read-only ledger) or cannot register
         models (read-only models dir) is unhealthy: it would accept
         requests it can never honor — or worse, fit without accounting.
+        Follower workers in a pre-fork fleet have no fit pool, so their
+        ``fit_worker_alive`` check is vacuously true.
         """
-        worker_alive = self.worker.alive()
+        worker_alive = self.worker.alive() if self.worker is not None else True
         ledger_dir = self.config.ledger_path.parent
         ledger_writable = os.access(
             self.config.ledger_path
@@ -611,7 +757,9 @@ class SynthesisService:
         return {
             "healthy": all(checks.values()),
             "checks": checks,
-            "queue_depth": self.worker.queue_depth(),
+            "queue_depth": (
+                self.worker.queue_depth() if self.worker is not None else 0
+            ),
         }
 
     # -- lifecycle --------------------------------------------------------
@@ -624,5 +772,11 @@ class SynthesisService:
         durable journal, where the next start recovers them.
         ``drain=True`` processes the whole queue first.
         """
-        self.worker.close(drain=drain)
+        self._poller_stop.set()
+        if self._poller is not None:
+            self._poller.join(timeout=5.0)
+        if self.worker is not None:
+            self.worker.close(drain=drain)
+        if self._metrics_flusher is not None:
+            self._metrics_flusher.stop()
         self.engine.close()

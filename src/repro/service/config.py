@@ -152,10 +152,27 @@ class ServiceConfig:
         How compiled sampler plans are published for pooled/pre-fork
         workers: ``"off"`` (process-local, the default), ``"mmap"``
         (memory-mapped files under ``<data_dir>/plans``) or ``"shm"``
-        (``multiprocessing.shared_memory`` segments).
+        (``multiprocessing.shared_memory`` segments).  Pre-fork serving
+        (``workers > 1``) defaults to ``"mmap"`` at the CLI so every
+        worker serves one physical copy of each compiled plan.
     model_cache_size:
         LRU bound on released models (and their compiled plans) the
         registry keeps in memory.  ``None`` caches without bound.
+    workers:
+        Number of pre-fork HTTP worker processes the deployment runs.
+        1 (the default) is the single-process server.  The value is
+        recorded on every worker's config so each process knows the
+        fleet size (metrics aggregation, journal polling).
+    worker_index:
+        This process's index within a pre-fork fleet, or ``None`` for
+        the single-process server.  Worker 0 is the **fit owner**: it
+        runs the background fit pool and startup job recovery; other
+        workers journal fit submissions for the owner to pick up and
+        serve everything else (sampling, reads) themselves.
+    metrics_flush_seconds:
+        How often each pre-fork worker flushes its metrics snapshot to
+        ``<data_dir>/metrics/worker-<index>.json`` for cross-worker
+        aggregation by ``GET /metrics``.
     """
 
     data_dir: PathLike
@@ -172,6 +189,9 @@ class ServiceConfig:
     sample_queue_limit: Optional[int] = 256
     shared_store_mode: str = "off"
     model_cache_size: Optional[int] = 128
+    workers: int = 1
+    worker_index: Optional[int] = None
+    metrics_flush_seconds: float = 1.0
 
     @property
     def root(self) -> Path:
@@ -194,8 +214,28 @@ class ServiceConfig:
         return self.root / "plans"
 
     @property
+    def metrics_dir(self) -> Path:
+        return self.root / "metrics"
+
+    @property
     def ledger_path(self) -> Path:
         return self.root / "ledger.jsonl"
+
+    @property
+    def is_fit_owner(self) -> bool:
+        """Whether this process runs the fit pool and job recovery.
+
+        The single-process server (``worker_index is None``) always
+        owns fitting; in a pre-fork fleet exactly worker 0 does, so the
+        durable job journal has one writer for lifecycle transitions
+        while every worker can still accept submissions.
+        """
+        return self.worker_index is None or self.worker_index == 0
+
+    @property
+    def multi_worker(self) -> bool:
+        """Whether this config describes a pre-fork fleet member."""
+        return self.workers > 1
 
     def ensure_layout(self) -> None:
         """Create the data directory tree if it does not exist."""

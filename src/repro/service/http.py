@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import json
 import re
+import socket
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
@@ -112,6 +113,10 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
     # Set by build_server on the handler subclass.
     service: SynthesisService = None  # type: ignore[assignment]
     quiet: bool = True
+    #: Pre-fork worker identity echoed on every response (``None`` for
+    #: the single-process server): lets clients and the scale-out bench
+    #: see which process served them.
+    worker_label: Optional[str] = None
 
     # -- plumbing ---------------------------------------------------------
 
@@ -132,6 +137,8 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if self.worker_label is not None:
+            self.send_header("X-DPCopula-Worker", self.worker_label)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -142,6 +149,8 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", payload.content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.worker_label is not None:
+            self.send_header("X-DPCopula-Worker", self.worker_label)
         self.end_headers()
         self.wfile.write(body)
 
@@ -286,11 +295,30 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         )
 
 
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server whose listening socket sets SO_REUSEPORT.
+
+    With SO_REUSEPORT, N sibling processes each bind their *own*
+    listening socket to the same address and the kernel load-balances
+    incoming connections across them — the pre-fork scale-out model
+    (:mod:`repro.service.prefork`).  The option must be set before
+    ``bind``, hence the override rather than a post-hoc setsockopt.
+    """
+
+    def server_bind(self) -> None:
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
 def build_server(
     service: SynthesisService,
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    *,
+    reuse_port: bool = False,
+    listen_socket: Optional[socket.socket] = None,
+    worker_label: Optional[str] = None,
 ) -> ThreadingHTTPServer:
     """A ready-to-run threaded HTTP server bound to ``host:port``.
 
@@ -303,7 +331,22 @@ def build_server(
     as its socket timeout: a client that opens a connection and stalls
     mid-request is disconnected instead of holding a handler thread
     (and its memory) hostage indefinitely.
+
+    Pre-fork options (see :mod:`repro.service.prefork`):
+
+    ``reuse_port``
+        Bind with ``SO_REUSEPORT`` so sibling worker processes can bind
+        the same address and share incoming connections kernel-side.
+    ``listen_socket``
+        Adopt an already-bound, already-listening socket (the
+        no-SO_REUSEPORT fallback: the parent binds once and every
+        forked worker accepts from the inherited socket).  Mutually
+        exclusive with ``reuse_port``; ``host``/``port`` are ignored.
+    ``worker_label``
+        Echoed on every response as ``X-DPCopula-Worker``.
     """
+    if reuse_port and listen_socket is not None:
+        raise ValueError("pass either reuse_port or listen_socket, not both")
     handler = type(
         "BoundSynthesisRequestHandler",
         (SynthesisRequestHandler,),
@@ -311,8 +354,22 @@ def build_server(
             "service": service,
             "quiet": quiet,
             "timeout": service.config.request_timeout_seconds,
+            "worker_label": worker_label,
         },
     )
-    server = ThreadingHTTPServer((host, port), handler)
+    if listen_socket is not None:
+        server = ThreadingHTTPServer(
+            listen_socket.getsockname()[:2], handler, bind_and_activate=False
+        )
+        server.socket.close()
+        server.socket = listen_socket
+        server.server_address = listen_socket.getsockname()[:2]
+        bound_host, bound_port = server.server_address[:2]
+        server.server_name = socket.getfqdn(bound_host)
+        server.server_port = bound_port
+    elif reuse_port:
+        server = _ReusePortHTTPServer((host, port), handler)
+    else:
+        server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     return server

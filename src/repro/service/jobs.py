@@ -289,6 +289,16 @@ class FitWorker:
                 raise KeyError(f"no fit job with id {job_id!r}")
             return self._jobs[job_id]
 
+    def known(self, job_id: str) -> bool:
+        """Whether this worker has ever accepted ``job_id``.
+
+        Used by the fit owner's journal poller to tell follower
+        submissions it has not picked up yet from jobs already in its
+        queue or history.
+        """
+        with self._lock:
+            return job_id in self._jobs
+
     def list(self) -> List[FitJob]:
         with self._lock:
             jobs = list(self._jobs.values())

@@ -20,12 +20,21 @@ every model id has a monotonically increasing **generation** number.
 place and bumps the generation, which is how downstream plan consumers
 (the sampling engine's shared stores and coalescer) atomically retire
 stale plans.
+
+Generations are **durable and cross-process**: the sidecar records the
+current generation, and every cache hit re-checks the sidecar's stat
+fingerprint (inode + mtime + size — one ``stat`` call, no read).  A
+``replace`` performed by *any* process atomically swaps the sidecar, so
+sibling pre-fork workers watching the fingerprint reload the model and
+recompile the plan at the bumped generation on their very next lookup —
+no request ever mixes old arrays with a new generation tag.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
 import threading
 import time
 import uuid
@@ -67,6 +76,7 @@ class ModelRecord:
     schema: List[List[Any]]
     created_at: float
     format_version: int = MODEL_FORMAT_VERSION
+    generation: int = 1
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -79,6 +89,7 @@ class ModelRecord:
             "schema": self.schema,
             "created_at": self.created_at,
             "format_version": self.format_version,
+            "generation": self.generation,
             "extra": self.extra,
         }
 
@@ -93,8 +104,15 @@ class ModelRecord:
             schema=[list(pair) for pair in payload["schema"]],
             created_at=float(payload["created_at"]),
             format_version=int(payload.get("format_version", 1)),
+            generation=int(payload.get("generation", 1)),
             extra=dict(payload.get("extra", {})),
         )
+
+
+#: Fingerprint of a sidecar file: (st_ino, st_mtime_ns, st_size).  An
+#: atomic replace writes a new inode, so any swap — even from another
+#: process — changes the fingerprint.
+_Fingerprint = Optional[tuple]
 
 
 @dataclass
@@ -103,6 +121,7 @@ class _CacheEntry:
 
     model: ReleasedModel
     plan: SamplerPlan
+    fingerprint: _Fingerprint = None
 
 
 class ModelRegistry:
@@ -195,10 +214,11 @@ class ModelRegistry:
 
         Atomically overwrites the NPZ (readers see the old or the new
         payload, never a torn one), refreshes the sidecar's model-derived
-        fields, bumps the id's **generation** and recompiles the cached
-        plan — so every downstream plan consumer keyed by
-        ``(model_id, generation)`` retires the stale plan on its next
-        lookup.
+        fields, bumps the id's **generation** (durably, in the sidecar)
+        and recompiles the cached plan — so every downstream plan
+        consumer keyed by ``(model_id, generation)`` — including sibling
+        pre-fork worker processes watching the sidecar fingerprint —
+        retires the stale plan on its next lookup.
         """
         model_id = check_identifier("model", model_id)
         with self._lock:
@@ -207,6 +227,7 @@ class ModelRegistry:
             old = ModelRecord.from_dict(
                 json.loads(self._sidecar_path(model_id).read_text())
             )
+            generation = max(self._generation_locked(model_id), old.generation) + 1
             record = ModelRecord(
                 model_id=model_id,
                 dataset_id=old.dataset_id,
@@ -215,36 +236,84 @@ class ModelRegistry:
                 n_records=model.n_records,
                 schema=[[a.name, a.domain_size] for a in model.schema],
                 created_at=time.time(),
+                generation=generation,
                 extra=dict(old.extra),
             )
             buffer = io.BytesIO()
             model.save(buffer)
+            # NPZ first, then the sidecar: the sidecar swap is the
+            # commit point sibling processes key their reload on.
             atomic_write_bytes(self._npz_path(model_id), buffer.getvalue())
             atomic_write_bytes(
                 self._sidecar_path(model_id),
                 (json.dumps(record.to_dict(), sort_keys=True, indent=2) + "\n").encode(),
             )
-            self._generations[model_id] = self._generation_locked(model_id) + 1
+            self._generations[model_id] = generation
             self._cache.pop(model_id, None)
             self._install_locked(model_id, model)
         return record
 
     # -- cache machinery --------------------------------------------------
 
+    def _sidecar_fingerprint(self, model_id: str) -> _Fingerprint:
+        """Stat-level identity of the sidecar (``None`` when missing)."""
+        try:
+            stat = os.stat(self._sidecar_path(model_id))
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+
     def _generation_locked(self, model_id: str) -> int:
-        return self._generations.setdefault(model_id, 1)
+        generation = self._generations.get(model_id)
+        if generation is None:
+            generation = 1
+            sidecar = self._sidecar_path(model_id)
+            if sidecar.exists():
+                try:
+                    generation = int(
+                        json.loads(sidecar.read_text()).get("generation", 1)
+                    )
+                except (ValueError, KeyError, OSError):
+                    generation = 1
+            self._generations[model_id] = generation
+        return generation
 
     def generation(self, model_id: str) -> int:
-        """The id's current generation (bumped by every ``replace``)."""
-        with self._lock:
-            return self._generation_locked(model_id)
+        """The id's current generation (bumped by every ``replace``).
 
-    def _install_locked(self, model_id: str, model: ReleasedModel) -> _CacheEntry:
+        Cross-process aware: when the sidecar on disk has moved past
+        this process's cached counter (a sibling's ``replace``), the
+        durable value wins.  The counter never goes backwards.
+        """
+        with self._lock:
+            cached = self._generation_locked(model_id)
+            sidecar = self._sidecar_path(model_id)
+            if sidecar.exists():
+                try:
+                    durable = int(json.loads(sidecar.read_text()).get("generation", 1))
+                except (ValueError, KeyError, OSError):
+                    durable = cached
+                if durable > cached:
+                    self._generations[model_id] = durable
+                    return durable
+            return cached
+
+    def _install_locked(
+        self,
+        model_id: str,
+        model: ReleasedModel,
+        fingerprint: _Fingerprint = None,
+    ) -> _CacheEntry:
         """Cache a model (compiling its plan) and enforce the LRU bound."""
         entry = _CacheEntry(
             model=model,
             plan=compile_plan(
                 model, model_id, generation=self._generation_locked(model_id)
+            ),
+            fingerprint=(
+                fingerprint
+                if fingerprint is not None
+                else self._sidecar_fingerprint(model_id)
             ),
         )
         self._cache[model_id] = entry
@@ -258,26 +327,48 @@ class ModelRegistry:
         return entry
 
     def _entry(self, model_id: str) -> _CacheEntry:
-        """The id's cache entry, loading + compiling on miss (LRU touch)."""
+        """The id's cache entry, loading + compiling on miss (LRU touch).
+
+        Every hit re-validates the sidecar's stat fingerprint: if a
+        sibling process hot-swapped the model (``replace`` writes a new
+        sidecar inode), the stale entry is dropped and reloaded at the
+        durable generation — one ``stat`` call per lookup buys
+        cross-process cache coherence.
+        """
         with self._lock:
             entry = self._cache.get(model_id)
             if entry is not None:
-                self._cache.move_to_end(model_id)
-                _PLAN_HITS.inc()
-                return entry
+                if entry.fingerprint == self._sidecar_fingerprint(model_id):
+                    self._cache.move_to_end(model_id)
+                    _PLAN_HITS.inc()
+                    return entry
+                # Swapped underneath us by another process: reload.
+                self._cache.pop(model_id, None)
         if not self._sidecar_path(model_id).exists():
             raise KeyError(f"no model registered under id {model_id!r}")
-        model = ReleasedModel.load(self._npz_path(model_id))
+        # Fingerprint-stable read: the NPZ lands before the sidecar in
+        # put/replace, so re-checking the fingerprint after loading the
+        # NPZ guarantees the (record, payload) pair is from one
+        # publication — a swap mid-read just retries.
+        for _ in range(3):
+            fingerprint = self._sidecar_fingerprint(model_id)
+            record = self.record(model_id)
+            model = ReleasedModel.load(self._npz_path(model_id))
+            if self._sidecar_fingerprint(model_id) == fingerprint:
+                break
         with self._lock:
             # Re-check: another thread may have installed while we read
-            # the NPZ; keep its entry (and plan identity) if so.
+            # the NPZ; keep its entry (and plan identity) if fresh.
             entry = self._cache.get(model_id)
-            if entry is not None:
+            if entry is not None and entry.fingerprint == fingerprint:
                 self._cache.move_to_end(model_id)
                 _PLAN_HITS.inc()
                 return entry
             _PLAN_MISSES.inc()
-            return self._install_locked(model_id, model)
+            self._generations[model_id] = max(
+                self._generations.get(model_id, 1), record.generation
+            )
+            return self._install_locked(model_id, model, fingerprint=fingerprint)
 
     def cached_models(self) -> int:
         """Models currently resident in the LRU cache."""

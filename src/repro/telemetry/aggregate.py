@@ -1,0 +1,223 @@
+"""Cross-worker metrics aggregation for pre-fork deployments.
+
+A pre-fork fleet (:mod:`repro.service.prefork`) runs one metrics
+registry *per process*, but an operator scrapes ``GET /metrics`` through
+one connection that the kernel routes to an arbitrary worker.  This
+module makes that scrape see the whole fleet:
+
+* :class:`MetricsFlusher` — a daemon thread in every worker that
+  periodically snapshots the process's :class:`~repro.telemetry.metrics.
+  MetricsRegistry` into ``<data_dir>/metrics/worker-<index>.json``
+  (atomic replace, so a scrape never reads a torn file);
+* :func:`read_worker_snapshots` — collects every worker's latest file;
+* :func:`render_prometheus_multi` / :func:`aggregate_snapshot` — merge
+  the per-worker snapshots into one exposition document, tagging every
+  series with a ``worker`` label so per-process series stay
+  distinguishable (Prometheus sums across the label where a total is
+  wanted).
+
+The files are snapshots, not streams: a worker that died keeps its last
+file until a supervisor respawn (same index) overwrites it, so counters
+never regress mid-scrape — they just go momentarily stale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry import get_logger
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    _format_labels,
+    _format_value,
+    _label_key,
+)
+
+__all__ = [
+    "MetricsFlusher",
+    "aggregate_snapshot",
+    "read_worker_snapshots",
+    "render_prometheus_multi",
+    "worker_snapshot_path",
+]
+
+_logger = get_logger("telemetry.aggregate")
+
+
+def worker_snapshot_path(metrics_dir, worker_index: int) -> Path:
+    """Where worker ``worker_index`` publishes its metrics snapshot."""
+    return Path(metrics_dir) / f"worker-{int(worker_index)}.json"
+
+
+def write_snapshot(
+    registry: MetricsRegistry, metrics_dir, worker_index: int
+) -> Path:
+    """Atomically persist ``registry``'s snapshot for this worker."""
+    metrics_dir = Path(metrics_dir)
+    metrics_dir.mkdir(parents=True, exist_ok=True)
+    path = worker_snapshot_path(metrics_dir, worker_index)
+    document = {
+        "worker": int(worker_index),
+        "pid": os.getpid(),
+        "written_at": time.time(),
+        "metrics": registry.snapshot(),
+    }
+    payload = json.dumps(document, sort_keys=True).encode("utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=metrics_dir, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_worker_snapshots(metrics_dir) -> Dict[int, Dict[str, Any]]:
+    """Every worker's latest snapshot document, keyed by worker index.
+
+    Unreadable or torn files are skipped (the writer replaces
+    atomically, so these only appear for foreign files).
+    """
+    metrics_dir = Path(metrics_dir)
+    snapshots: Dict[int, Dict[str, Any]] = {}
+    if not metrics_dir.exists():
+        return snapshots
+    for path in sorted(metrics_dir.glob("worker-*.json")):
+        try:
+            index = int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        try:
+            snapshots[index] = json.loads(path.read_text())
+        except (OSError, ValueError):
+            _logger.warning(
+                "skipping unreadable metrics snapshot", extra={"path": str(path)}
+            )
+    return snapshots
+
+
+class MetricsFlusher:
+    """Background thread publishing this worker's metrics snapshot.
+
+    Flushes every ``interval`` seconds and once more on :meth:`stop`,
+    so the file a sibling aggregates is at most one interval stale —
+    and final counts survive a graceful drain.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        metrics_dir,
+        worker_index: int,
+        interval: float = 1.0,
+    ):
+        self.registry = registry
+        self.metrics_dir = Path(metrics_dir)
+        self.worker_index = int(worker_index)
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsFlusher":
+        self.flush()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"dpcopula-metrics-flusher-{self.worker_index}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the snapshot now (best-effort; never raises)."""
+        try:
+            write_snapshot(self.registry, self.metrics_dir, self.worker_index)
+        except OSError:
+            _logger.exception(
+                "metrics snapshot flush failed",
+                extra={"worker": self.worker_index},
+            )
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.flush()
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+def aggregate_snapshot(snapshots: Dict[int, Dict[str, Any]]) -> Dict[str, Any]:
+    """One JSON document merging every worker's metrics snapshot.
+
+    Per-metric series keep their labels plus an injected ``worker``
+    label, so nothing is summed away — consumers aggregate exactly the
+    series they care about.
+    """
+    merged: Dict[str, Any] = {}
+    for index in sorted(snapshots):
+        metrics_doc = snapshots[index].get("metrics", {})
+        for name, instrument in sorted(metrics_doc.items()):
+            slot = merged.setdefault(
+                name,
+                {
+                    "type": instrument.get("type", "untyped"),
+                    "help": instrument.get("help", ""),
+                    "series": [],
+                },
+            )
+            for series in instrument.get("series", []):
+                tagged = dict(series)
+                tagged["labels"] = {
+                    **series.get("labels", {}),
+                    "worker": str(index),
+                }
+                slot["series"].append(tagged)
+    return merged
+
+
+def render_prometheus_multi(snapshots: Dict[int, Dict[str, Any]]) -> str:
+    """Prometheus text exposition of a whole fleet's snapshots.
+
+    Mirrors :meth:`MetricsRegistry.render_prometheus` output, with every
+    series carrying a ``worker`` label identifying its process.
+    """
+    merged = aggregate_snapshot(snapshots)
+    lines: List[str] = []
+    for name in sorted(merged):
+        instrument = merged[name]
+        if instrument["help"]:
+            escaped = instrument["help"].replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {instrument['type']}")
+        for series in instrument["series"]:
+            key = _label_key(series["labels"])
+            if instrument["type"] == "histogram":
+                for bound, cumulative in series["buckets"].items():
+                    labels = _format_labels(key, extra=[("le", bound)])
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _format_labels(key)
+                lines.append(f"{name}_sum{labels} {_format_value(series['sum'])}")
+                lines.append(f"{name}_count{labels} {series['count']}")
+            else:
+                labels = _format_labels(key)
+                lines.append(f"{name}{labels} {_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"

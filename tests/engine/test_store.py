@@ -131,3 +131,90 @@ class TestFactory:
             build_plan_store("nfs", tmp_path)
         with pytest.raises(ValueError, match="directory"):
             build_plan_store("mmap")
+
+
+# -- separate-process attachment ------------------------------------------
+#
+# The stores exist for pre-fork fleets, so the contract that matters is
+# cross-*process*: a true child process (fork) attaches to a publication
+# it did not create and samples bitwise identically.
+
+def _mmap_attach_child(directory, model_id, n, seed, out_queue):
+    import numpy as np
+
+    from repro.engine import MmapPlanStore
+
+    store = MmapPlanStore(directory)
+    try:
+        plan = store.load(model_id)
+        data = plan.sample(n, np.random.default_rng(seed))
+        out_queue.put((plan.generation, data.values.tobytes(), data.values.shape))
+    finally:
+        store.close()
+
+
+def _shm_attach_child(manifest, n, seed, out_queue):
+    import numpy as np
+
+    from repro.engine import SharedMemoryPlanStore
+
+    plan, segments = SharedMemoryPlanStore.attach(manifest)
+    try:
+        data = plan.sample(n, np.random.default_rng(seed))
+        out_queue.put((plan.generation, data.values.tobytes(), data.values.shape))
+    finally:
+        for segment in segments:
+            segment.close()
+
+
+def _run_child(target, args, timeout=60):
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    out_queue = ctx.Queue()
+    process = ctx.Process(target=target, args=(*args, out_queue))
+    process.start()
+    try:
+        result = out_queue.get(timeout=timeout)
+    finally:
+        process.join(timeout=timeout)
+        if process.is_alive():  # pragma: no cover - hung child
+            process.terminate()
+    assert process.exitcode == 0
+    return result
+
+
+class TestSeparateProcessAttach:
+    def test_mmap_store_attaches_from_child_process(self, tmp_path, plan):
+        directory = tmp_path / "plans"
+        MmapPlanStore(directory).publish(plan)
+        generation, raw, shape = _run_child(
+            _mmap_attach_child, (directory, plan.model_id, 120, 77)
+        )
+        assert generation == plan.generation
+        local = plan.sample(120, np.random.default_rng(77)).values
+        child = np.frombuffer(raw, dtype=np.int64).reshape(shape)
+        np.testing.assert_array_equal(child, local)
+
+    def test_mmap_load_without_publication_raises(self, tmp_path):
+        store = MmapPlanStore(tmp_path / "plans")
+        try:
+            with pytest.raises(KeyError):
+                store.load("never-published")
+        finally:
+            store.close()
+
+    def test_shm_store_attaches_from_child_process(self, plan):
+        store = SharedMemoryPlanStore(prefix="dpc-test-xproc")
+        try:
+            store.publish(plan)
+            manifest = store.manifest(plan.model_id)
+            generation, raw, shape = _run_child(
+                _shm_attach_child, (manifest, 90, 13)
+            )
+            assert generation == plan.generation
+            local = plan.sample(90, np.random.default_rng(13)).values
+            child = np.frombuffer(raw, dtype=np.int64).reshape(shape)
+            np.testing.assert_array_equal(child, local)
+        finally:
+            store.close()

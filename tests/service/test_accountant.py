@@ -152,3 +152,63 @@ class TestTornTail:
         assert summary["charges"][0]["label"] == "fit:kendall:j1"
         # The summary must be JSON-serializable as-is (it feeds the API).
         json.dumps(summary)
+
+
+# -- inter-process charging ------------------------------------------------
+
+def _charge_storm(ledger_path, epsilon_cap, worker, attempts, out_queue):
+    from repro.dp.budget import BudgetExhaustedError
+    from repro.service.accountant import PrivacyAccountant
+
+    accountant = PrivacyAccountant(ledger_path, epsilon_cap=epsilon_cap)
+    granted = 0
+    for attempt in range(attempts):
+        try:
+            accountant.charge(
+                "ds", 1.0, label=f"w{worker}", key=f"w{worker}-{attempt}"
+            )
+            granted += 1
+        except BudgetExhaustedError:
+            pass
+    out_queue.put(granted)
+
+
+class TestInterProcessCharging:
+    def test_two_processes_cannot_jointly_overdraw(self, ledger_path):
+        """Concurrent chargers in separate processes respect the cap.
+
+        Two processes race 30 unit charges each against a cap of 40:
+        the flocked append + catch-up replay must grant *exactly* 40
+        across both, never 41 — and the journal a fresh accountant
+        replays afterwards must agree entry-for-entry.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        out_queue = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_charge_storm, args=(ledger_path, 40.0, w, 30, out_queue)
+            )
+            for w in range(2)
+        ]
+        for process in workers:
+            process.start()
+        granted = [out_queue.get(timeout=120) for _ in workers]
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+
+        assert sum(granted) == 40
+        # Both processes got work in: neither starved behind the lock.
+        assert all(count > 0 for count in granted)
+
+        replayed = PrivacyAccountant(ledger_path, epsilon_cap=40.0)
+        assert replayed.spent("ds") == pytest.approx(40.0)
+        assert len(replayed.entries("ds")) == 40
+        assert replayed.remaining("ds") == pytest.approx(0.0)
+        # Every journaled line parses cleanly: no torn interleaved writes.
+        lines = ledger_path.read_text().splitlines()
+        assert len(lines) == 40
+        for line in lines:
+            json.loads(line)

@@ -199,3 +199,44 @@ class TestPlansAndHotSwap:
         registry.put(released_model, dataset_id="d", method="kendall", model_id="m2")
         assert registry.cached_models() == 1  # m1 evicted
         assert registry.get_plan("m1").generation == 2
+
+
+# -- cross-process generation watching ------------------------------------
+
+def _replace_in_child(models_dir, model_id):
+    from repro.service.registry import ModelRegistry
+
+    registry = ModelRegistry(models_dir)
+    registry.replace(model_id, registry.get(model_id))
+
+
+class TestCrossProcessGenerations:
+    def test_sibling_replace_is_seen_through_sidecar_fingerprint(
+        self, tmp_path, released_model
+    ):
+        """A replace() in another process invalidates this one's cache.
+
+        The parent warms its in-memory cache and compiled plan first, so
+        only the sidecar fingerprint watch can reveal the swap — there
+        is no shared memory between the two registries.
+        """
+        import multiprocessing
+
+        models_dir = tmp_path / "models"
+        registry = ModelRegistry(models_dir)
+        registry.put(
+            released_model, dataset_id="d", method="kendall", model_id="m1"
+        )
+        assert registry.get_plan("m1").generation == 1  # warm the cache
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_replace_in_child, args=(models_dir, "m1"))
+        child.start()
+        child.join(timeout=60)
+        assert child.exitcode == 0
+
+        assert registry.generation("m1") == 2
+        assert registry.record("m1").generation == 2
+        assert registry.get_plan("m1").generation == 2
+        # A third process (fresh registry) agrees on the durable state.
+        assert ModelRegistry(models_dir).generation("m1") == 2

@@ -37,6 +37,15 @@ against the same data directory — see docs/RELIABILITY.md)::
     dpcopula jobs --data-dir ./service-data
     dpcopula jobs --data-dir ./service-data --show 3f2a9b0c11de
     dpcopula jobs --data-dir ./service-data --cancel 3f2a9b0c11de
+
+Watch the fleet: privacy-budget burn-down per dataset, continuous
+utility-probe results and drift events (live over HTTP, or offline
+against the data directory — see docs/OBSERVABILITY.md)::
+
+    dpcopula budget --url http://127.0.0.1:8639
+    dpcopula budget --data-dir ./service-data --epsilon-cap 10.0
+    dpcopula top --url http://127.0.0.1:8639 --watch 2
+    dpcopula top --data-dir ./service-data
 """
 
 from __future__ import annotations
@@ -259,6 +268,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on released models kept in server memory "
         "(default 128; 0 disables the bound)",
     )
+    serve.add_argument(
+        "--slow-request-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="requests slower than this are logged with their request id "
+        "and counted (default 1.0; 0 disables slow-request logging)",
+    )
+    serve.add_argument(
+        "--latency-buckets",
+        default=None,
+        metavar="SECONDS,SECONDS,...",
+        help="override latency-histogram bucket boundaries, e.g. "
+        "'0.01,0.1,1,10' (default: built-in 1ms-5min spread; the "
+        "DPCOPULA_LATENCY_BUCKETS environment variable wins over this)",
+    )
+    serve.add_argument(
+        "--no-trace-export",
+        action="store_true",
+        help="disable the durable per-worker trace-export ring under "
+        "<data-dir>/traces/",
+    )
+    serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="period of the continuous utility-probe loop on the fit "
+        "owner (default 0: disabled); probes draw deterministic samples "
+        "from served models and cost zero privacy budget",
+    )
+    serve.add_argument(
+        "--probe-sample-size",
+        type=int,
+        default=512,
+        help="records drawn per model per probe cycle (default 512)",
+    )
+    serve.add_argument(
+        "--probe-drift-threshold",
+        type=float,
+        default=0.05,
+        help="emit a drift event when a hot-swapped generation's released "
+        "statistics shift beyond this (default 0.05)",
+    )
+
+    budget = commands.add_parser(
+        "budget",
+        help="render per-dataset privacy-budget burn-down timelines "
+        "from a service's ledger",
+    )
+    budget_source = budget.add_mutually_exclusive_group(required=True)
+    budget_source.add_argument(
+        "--data-dir",
+        default=None,
+        help="read the ledger offline from a serve data directory",
+    )
+    budget_source.add_argument(
+        "--url",
+        default=None,
+        help="fetch GET /budget from a running service, e.g. "
+        "http://127.0.0.1:8639",
+    )
+    budget.add_argument(
+        "--epsilon-cap",
+        type=float,
+        default=10.0,
+        help="lifetime cap to render headroom against in offline mode "
+        "(the ledger records spends, not the cap; default 10.0)",
+    )
+    budget.add_argument(
+        "--events",
+        type=int,
+        default=5,
+        help="ledger events to show per dataset (default 5, newest last; "
+        "0 hides the timeline)",
+    )
+    budget.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="one-screen fleet dashboard: budgets, utility probes, drift, "
+        "traces (see docs/OBSERVABILITY.md)",
+    )
+    top_source = top.add_mutually_exclusive_group(required=True)
+    top_source.add_argument(
+        "--data-dir",
+        default=None,
+        help="read observatory state offline from a serve data directory",
+    )
+    top_source.add_argument(
+        "--url",
+        default=None,
+        help="fetch GET /debug/observatory from a running service",
+    )
+    top.add_argument(
+        "--epsilon-cap",
+        type=float,
+        default=10.0,
+        help="lifetime cap to render against in offline mode (default 10.0)",
+    )
+    top.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS until interrupted (default: render once)",
+    )
+    top.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     jobs = commands.add_parser(
         "jobs",
@@ -418,6 +539,15 @@ def _serve(args) -> int:
         # A fleet without a shared store would compile every plan once
         # per process; default to one mmap copy per machine instead.
         shared_store = "mmap" if workers > 1 else "off"
+    latency_buckets = None
+    if args.latency_buckets:
+        from repro.telemetry.metrics import parse_latency_buckets
+
+        try:
+            latency_buckets = parse_latency_buckets(args.latency_buckets)
+        except ValueError as exc:
+            print(f"error: --latency-buckets: {exc}", file=sys.stderr)
+            return 2
     config = ServiceConfig(
         data_dir=args.data_dir,
         epsilon_cap=args.epsilon_cap,
@@ -434,6 +564,12 @@ def _serve(args) -> int:
         shared_store_mode=shared_store,
         model_cache_size=args.model_cache_size or None,
         workers=workers,
+        slow_request_seconds=args.slow_request_threshold or None,
+        latency_buckets=latency_buckets,
+        trace_export_enabled=not args.no_trace_export,
+        probe_interval_seconds=args.probe_interval,
+        probe_sample_size=args.probe_sample_size,
+        probe_drift_threshold=args.probe_drift_threshold,
     )
     if workers > 1:
         return _serve_prefork(args, config, workers)
@@ -449,8 +585,9 @@ def _serve(args) -> int:
         f"parallel backend: {args.parallel_backend}"
     )
     print(
-        "endpoints: /health /healthz /metrics /datasets /fits /models "
-        "— see docs/SERVICE.md and docs/OBSERVABILITY.md"
+        "endpoints: /health /healthz /metrics /budget /debug/observatory "
+        "/datasets /fits /models — see docs/SERVICE.md and "
+        "docs/OBSERVABILITY.md"
     )
 
     def _drain(signum, frame):  # pragma: no cover - signal delivery timing
@@ -496,8 +633,9 @@ def _serve_prefork(args, config, workers: int) -> int:
         f"shared plan store: {config.shared_store_mode}"
     )
     print(
-        "endpoints: /health /healthz /metrics /datasets /fits /models "
-        "— see docs/SERVICE.md and docs/OBSERVABILITY.md"
+        "endpoints: /health /healthz /metrics /budget /debug/observatory "
+        "/datasets /fits /models — see docs/SERVICE.md and "
+        "docs/OBSERVABILITY.md"
     )
 
     def _stop(signum, frame):  # pragma: no cover - signal delivery timing
@@ -518,6 +656,187 @@ def _serve_prefork(args, config, workers: int) -> int:
     finally:
         supervisor.stop()
     return 0
+
+
+def _fetch_json(url: str):
+    """GET a service endpoint and parse the JSON body."""
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _offline_budget(data_dir: str, epsilon_cap: float):
+    """Replay a serve data directory's ledger without a running service."""
+    from pathlib import Path
+
+    from repro.service.accountant import replay_ledger
+    from repro.telemetry.observatory import budget_timelines
+
+    root = Path(data_dir)
+    datasets = sorted(
+        sidecar.stem for sidecar in (root / "datasets").glob("*.json")
+    ) if (root / "datasets").exists() else []
+    entries = replay_ledger(root / "ledger.jsonl")
+    return budget_timelines(entries, epsilon_cap, datasets=datasets)
+
+
+def _format_timestamp(value) -> str:
+    import datetime
+
+    try:
+        moment = datetime.datetime.fromtimestamp(float(value))
+    except (TypeError, ValueError, OSError, OverflowError):
+        return "-"
+    return moment.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _utilization_bar(utilization: float, width: int = 24) -> str:
+    filled = max(0, min(width, round(float(utilization) * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def _render_budget(document, events: int = 5) -> None:
+    timelines = document.get("datasets", [])
+    if not timelines:
+        print("no datasets in the ledger")
+        return
+    print(f"privacy budget (ε cap {document.get('epsilon_cap', 0):g}/dataset)")
+    for timeline in timelines:
+        print(
+            f"\n{timeline['dataset_id']}: "
+            f"[{_utilization_bar(timeline['utilization'])}] "
+            f"{timeline['epsilon_spent']:g} spent / "
+            f"{timeline['epsilon_remaining']:g} remaining"
+        )
+        if events:
+            for event in timeline.get("events", [])[-events:]:
+                sign = "-" if event.get("kind") == "refund" else "+"
+                print(
+                    f"  {_format_timestamp(event.get('timestamp'))}  "
+                    f"{sign}ε{event['epsilon']:<10g} "
+                    f"spent={event['spent_after']:<10g} "
+                    f"{event.get('label', '')}"
+                )
+
+
+def _budget(args) -> int:
+    if args.url:
+        document = _fetch_json(args.url.rstrip("/") + "/budget")
+    else:
+        document = _offline_budget(args.data_dir, args.epsilon_cap)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    _render_budget(document, events=args.events)
+    return 0
+
+
+def _observatory_document(args):
+    """The dashboard document: live from the service, or off the files."""
+    if args.url:
+        return _fetch_json(args.url.rstrip("/") + "/debug/observatory")
+    from pathlib import Path
+
+    from repro.telemetry.export import list_trace_files
+    from repro.telemetry.observatory import (
+        load_probe_document,
+        read_drift_events,
+    )
+
+    root = Path(args.data_dir)
+    return {
+        "served_by": "offline",
+        "budget": _offline_budget(args.data_dir, args.epsilon_cap),
+        "probes": load_probe_document(root / "observatory"),
+        "drift_events": read_drift_events(root / "observatory"),
+        "traces": {"enabled": None, "files": list_trace_files(root / "traces")},
+        "workers": [],
+    }
+
+
+def _render_top(document) -> None:
+    print(f"dpcopula top — served by worker {document.get('served_by')}")
+
+    budget = document.get("budget") or {}
+    print(f"\n-- privacy budget (ε cap {budget.get('epsilon_cap', 0):g}) --")
+    for timeline in budget.get("datasets", []):
+        print(
+            f"  {timeline['dataset_id']:<20} "
+            f"[{_utilization_bar(timeline['utilization'])}] "
+            f"{timeline['epsilon_spent']:g}/{timeline['epsilon_cap']:g} spent"
+        )
+    if not budget.get("datasets"):
+        print("  (no datasets)")
+
+    probes = document.get("probes")
+    print("\n-- utility probes --")
+    if not probes:
+        print("  (no probe results yet)")
+    else:
+        print(
+            f"  cycle at {_format_timestamp(probes.get('written_at'))}, "
+            f"{probes.get('models_probed')}/{probes.get('models_total')} "
+            f"models, sample={probes.get('sample_size')}"
+        )
+        header = (
+            f"  {'MODEL':<18} {'GEN':<4} {'TVD(max)':<10} "
+            f"{'TAU ERR':<10} MISFIT"
+        )
+        print(header)
+        for model in probes.get("models", []):
+            print(
+                f"  {model['model_id']:<18} {model['generation']:<4} "
+                f"{model['margin_tvd_max']:<10.4f} "
+                f"{model['tau_error']:<10.4f} {model['copula_misfit']:.4f}"
+            )
+
+    drift = document.get("drift_events") or []
+    print("\n-- drift events --")
+    if not drift:
+        print("  (none)")
+    for event in drift[-5:]:
+        print(
+            f"  {_format_timestamp(event.get('ts'))}  {event.get('model_id')} "
+            f"gen {event.get('from_generation')}→{event.get('to_generation')} "
+            f"{event.get('metric')}={event.get('value'):.4f} "
+            f"(threshold {event.get('threshold'):g})"
+        )
+
+    traces = document.get("traces") or {}
+    print("\n-- trace export --")
+    files = traces.get("files", [])
+    if not files:
+        print("  (no trace files)")
+    for entry in files:
+        print(
+            f"  {entry['file']:<24} {entry['bytes']:>10} bytes  "
+            f"modified {_format_timestamp(entry['modified_at'])}"
+        )
+
+    workers = document.get("workers") or []
+    if workers:
+        print("\n-- workers --")
+        for worker in workers:
+            print(f"  worker {worker.get('worker')}  pid {worker.get('pid')}")
+
+
+def _top(args) -> int:
+    import time as _time
+
+    while True:
+        document = _observatory_document(args)
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            _render_top(document)
+        if args.watch is None:
+            return 0
+        try:
+            _time.sleep(args.watch)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        print()
 
 
 def _jobs(args) -> int:
@@ -579,6 +898,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve(args)
     if args.command == "jobs":
         return _jobs(args)
+    if args.command == "budget":
+        return _budget(args)
+    if args.command == "top":
+        return _top(args)
     return _inspect(args)
 
 

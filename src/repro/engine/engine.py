@@ -27,7 +27,7 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.engine.coalesce import RequestCoalescer
 from repro.engine.plan import SamplerPlan
-from repro.telemetry import get_logger, metrics
+from repro.telemetry import current_context, get_logger, metrics
 
 __all__ = ["SamplingEngine"]
 
@@ -109,7 +109,14 @@ class SamplingEngine:
             synthetic = self._coalescer.sample(plan, n, rng)
         else:
             synthetic = plan.sample(n, rng)
-        _ENGINE_SECONDS.observe(time.perf_counter() - started)
+        # Exemplar: the request id joins this latency bucket to the
+        # request's exported trace (JSON snapshot only, never the text
+        # exposition).
+        context = current_context()
+        _ENGINE_SECONDS.observe(
+            time.perf_counter() - started,
+            exemplar=context.get("request_id") or context.get("job_id"),
+        )
         return synthetic
 
     def pending(self) -> int:

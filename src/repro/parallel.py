@@ -51,7 +51,7 @@ import numpy as np
 from repro.resilience import faults
 from repro.resilience.deadlines import Deadline, current_deadline
 from repro.resilience.retry import RetryPolicy, call_with_retry
-from repro.telemetry import get_logger, metrics, trace
+from repro.telemetry import bind_context, current_context, get_logger, metrics, trace
 from repro.utils import RngLike, as_generator
 
 _logger = get_logger("parallel")
@@ -140,6 +140,7 @@ def _run_tasks(
     chunk: Sequence[Any],
     shared: Any,
     deadline: Optional[Deadline],
+    context_ids: Optional[dict] = None,
 ) -> List[Any]:
     """The shared chunk body: fault point, per-task deadline checks.
 
@@ -148,7 +149,15 @@ def _run_tasks(
     deadline check between tasks is the cooperative cancellation point
     for hung/slow stages (a :class:`Deadline` pickles as its remaining
     budget, so process workers enforce it against their own clocks).
+
+    ``context_ids`` re-binds the dispatching caller's correlation ids
+    (request/job) inside the worker — contextvars don't cross pool
+    boundaries on their own — so every log line a pooled task emits
+    still carries the ids of the request that caused it.
     """
+    if context_ids:
+        with bind_context(**context_ids):
+            return _run_tasks(fn, chunk, shared, deadline)
     faults.inject("parallel.chunk")
     results = []
     for task in chunk:
@@ -162,9 +171,10 @@ def _run_chunk(
     fn: Callable[[Any, Any], Any],
     chunk: Sequence[Any],
     deadline: Optional[Deadline] = None,
+    context_ids: Optional[dict] = None,
 ) -> List[Any]:
     """Execute one contiguous chunk of tasks against the installed payload."""
-    return _run_tasks(fn, chunk, _PROCESS_SHARED, deadline)
+    return _run_tasks(fn, chunk, _PROCESS_SHARED, deadline, context_ids)
 
 
 def _run_chunk_with_shared(
@@ -172,8 +182,9 @@ def _run_chunk_with_shared(
     chunk: Sequence[Any],
     shared: Any,
     deadline: Optional[Deadline] = None,
+    context_ids: Optional[dict] = None,
 ) -> List[Any]:
-    return _run_tasks(fn, chunk, shared, deadline)
+    return _run_tasks(fn, chunk, shared, deadline, context_ids)
 
 
 # Traced twins of the chunk runners: pool workers cannot see the
@@ -186,10 +197,11 @@ def _run_chunk_traced(
     fn: Callable[[Any, Any], Any],
     chunk: Sequence[Any],
     deadline: Optional[Deadline] = None,
+    context_ids: Optional[dict] = None,
 ):
     return trace.call_collected(
         "parallel.chunk",
-        lambda: _run_tasks(fn, chunk, _PROCESS_SHARED, deadline),
+        lambda: _run_tasks(fn, chunk, _PROCESS_SHARED, deadline, context_ids),
         tasks=len(chunk),
     )
 
@@ -199,10 +211,11 @@ def _run_chunk_with_shared_traced(
     chunk: Sequence[Any],
     shared: Any,
     deadline: Optional[Deadline] = None,
+    context_ids: Optional[dict] = None,
 ):
     return trace.call_collected(
         "parallel.chunk",
-        lambda: _run_tasks(fn, chunk, shared, deadline),
+        lambda: _run_tasks(fn, chunk, shared, deadline, context_ids),
         tasks=len(chunk),
     )
 
@@ -331,8 +344,14 @@ class ExecutionContext:
                 },
             )
 
+            # Correlation ids captured at dispatch travel with every
+            # chunk: pool workers (threads *and* processes) re-bind
+            # them, so a pooled fan-out logs under its request/job ids.
+            context_ids = current_context() or None
+
             def dispatch() -> List[Any]:
                 deadlines = [deadline] * len(chunks)
+                contexts = [context_ids] * len(chunks)
                 if self.backend == "thread":
                     runner = (
                         _run_chunk_with_shared_traced
@@ -347,6 +366,7 @@ class ExecutionContext:
                                 chunks,
                                 [shared] * len(chunks),
                                 deadlines,
+                                contexts,
                             )
                         )
                 runner = _run_chunk_traced if traced else _run_chunk
@@ -356,7 +376,9 @@ class ExecutionContext:
                     initargs=(shared,),
                 ) as pool:
                     return list(
-                        pool.map(runner, [fn] * len(chunks), chunks, deadlines)
+                        pool.map(
+                            runner, [fn] * len(chunks), chunks, deadlines, contexts
+                        )
                     )
 
             chunked = call_with_retry(

@@ -63,9 +63,56 @@ from repro.service.config import PathLike
 from repro.telemetry import get_logger, metrics
 from repro.utils import check_positive
 
-__all__ = ["PrivacyAccountant", "BudgetExhaustedError"]
+__all__ = ["PrivacyAccountant", "BudgetExhaustedError", "replay_ledger"]
 
 _logger = get_logger("service.accountant")
+
+
+def replay_ledger(ledger_path: PathLike) -> List[Dict[str, Any]]:
+    """Pure-read replay of a ledger file: parsed, deduplicated entries.
+
+    The budget observatory's view of the world: one buffered read with
+    **no locking whatsoever** — it never touches the flock sidecar, so
+    rendering burn-down timelines adds zero contention to the append
+    path.  Semantics mirror the accountant's replay: entries come back
+    in append order, duplicates by idempotency key are dropped, and a
+    torn final line (missing its newline) is *skipped*, not repaired —
+    repairs are mutations and belong to the accountant.  Unlike startup
+    replay this is diagnostic, so mid-file corruption skips the bad
+    line instead of refusing: an observatory must be able to look at a
+    damaged ledger.
+    """
+    try:
+        text = Path(ledger_path).read_text(encoding="utf-8")
+    except OSError:
+        return []
+    if not text:
+        return []
+    if not text.endswith("\n"):
+        text = text.rpartition("\n")[0]  # drop the torn tail fragment
+    entries: List[Dict[str, Any]] = []
+    seen_keys: set = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(entry, dict) or "dataset" not in entry:
+            continue
+        try:
+            float(entry["epsilon"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        key = entry.get("key")
+        if key is not None:
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+        entries.append(entry)
+    return entries
 
 # Per-dataset privacy gauges: refreshed on every charge and on ledger
 # replay, so /metrics always reflects the durable accounting state.

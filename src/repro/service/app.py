@@ -50,7 +50,7 @@ from repro.engine import (
 from repro.io import ReleasedModel
 from repro.resilience.journal import JobJournal, JobRecord
 from repro.resilience.retry import RetryPolicy, call_with_retry, mark_no_retry
-from repro.service.accountant import PrivacyAccountant
+from repro.service.accountant import PrivacyAccountant, replay_ledger
 from repro.service.config import ServiceConfig
 from repro.service.datasets import DatasetStore
 from repro.service.errors import (
@@ -63,7 +63,13 @@ from repro.parallel import ExecutionContext
 from repro.service.jobs import FitCheckpoint, FitJob, FitWorker
 from repro.service.registry import ModelRegistry
 from repro.service.serializers import dataset_summary, dataset_to_rows
-from repro.telemetry import configure_logging, get_logger, metrics, trace
+from repro.telemetry import (
+    TraceExporter,
+    configure_logging,
+    get_logger,
+    metrics,
+    trace,
+)
 
 __all__ = ["SynthesisService", "FIT_METHODS"]
 
@@ -122,6 +128,15 @@ class SynthesisService:
     def __init__(self, config: ServiceConfig):
         self.config = config
         configure_logging(config.log_level)
+        # Resolve latency-histogram buckets before any request traffic:
+        # the env var beats the config field, and rebucketing clears the
+        # affected series, which is only safe this early.
+        buckets = config.latency_buckets
+        env_buckets = os.environ.get(metrics.LATENCY_BUCKETS_ENV_VAR)
+        if env_buckets:
+            buckets = metrics.parse_latency_buckets(env_buckets)
+        if buckets is not None:
+            metrics.REGISTRY.configure_latency_buckets(buckets)
         config.ensure_layout()
         self.datasets = DatasetStore(config.datasets_dir)
         self.registry = ModelRegistry(
@@ -182,6 +197,35 @@ class SynthesisService:
                 config.worker_index,
                 interval=config.metrics_flush_seconds,
             ).start()
+        # Durable trace export: completed request/fit traces append to a
+        # per-worker JSONL ring under <data_dir>/traces/.
+        self.trace_exporter: Optional[TraceExporter] = None
+        if config.trace_export_enabled:
+            self.trace_exporter = TraceExporter(
+                config.traces_dir,
+                worker_label=config.worker_label,
+                max_bytes=config.trace_export_max_bytes,
+                max_files=config.trace_export_files,
+                slow_threshold=config.slow_request_seconds,
+            ).install()
+        # Continuous utility probes run on the fit owner only — one
+        # prober per deployment — and publish results to
+        # <data_dir>/observatory/ for every worker to serve.  The probe
+        # object exists even with the loop disabled (interval 0) so
+        # operators and tests can trigger on-demand cycles.
+        self.probe = None
+        if config.is_fit_owner:
+            from repro.telemetry.observatory import UtilityProbe
+
+            self.probe = UtilityProbe(
+                self.registry,
+                config.observatory_dir,
+                worker_label=config.worker_label,
+                sample_size=config.probe_sample_size,
+                drift_threshold=config.probe_drift_threshold,
+                interval=config.probe_interval_seconds,
+            )
+            self.probe.start()
 
     # -- datasets ---------------------------------------------------------
 
@@ -728,6 +772,91 @@ class SynthesisService:
         ).set(self.registry.cached_models())
         self.journal.refresh_state_gauge()
 
+    def budget_overview(self) -> Dict[str, Any]:
+        """Per-dataset ε burn-down timelines from a pure ledger read.
+
+        Replays the append-only ledger without taking its lock — the
+        budget endpoint never contends with a fit's charge path — and
+        unions datasets seen in the ledger with datasets currently
+        uploaded, so never-fitted datasets still appear with their full
+        cap remaining.
+        """
+        known = [
+            summary["dataset_id"]
+            for summary in self.datasets.list()
+            if summary.get("dataset_id")
+        ]
+        from repro.telemetry.observatory import budget_timelines
+
+        entries = replay_ledger(self.config.ledger_path)
+        return budget_timelines(
+            entries, self.accountant.epsilon_cap, datasets=known
+        )
+
+    def observatory_snapshot(self) -> Dict[str, Any]:
+        """The ``GET /debug/observatory`` document: fleet state at a glance.
+
+        Aggregates the privacy-budget timelines, the latest utility-probe
+        results and drift events (published by the fit owner's prober),
+        the trace-ring inventory, and per-worker liveness — readable from
+        any worker because everything flows through the shared data dir.
+        """
+        from repro.telemetry.export import list_trace_files
+        from repro.telemetry.observatory import (
+            load_probe_document,
+            read_drift_events,
+        )
+
+        snapshot = self.metrics_snapshot()
+        document: Dict[str, Any] = {
+            "served_by": self.config.worker_label,
+            "budget": self.budget_overview(),
+            "probes": load_probe_document(self.config.observatory_dir),
+            "drift_events": read_drift_events(self.config.observatory_dir),
+            "traces": {
+                "enabled": self.trace_exporter is not None,
+                "files": list_trace_files(self.config.traces_dir),
+            },
+            "requests_total": self._sum_counter(
+                snapshot, "dpcopula_http_requests_total"
+            ),
+            "slow_requests_total": self._sum_counter(
+                snapshot, "dpcopula_http_slow_requests_total"
+            ),
+            "traces_exported_total": self._sum_counter(
+                snapshot, "dpcopula_traces_exported_total"
+            ),
+        }
+        if self._metrics_flusher is not None:
+            from repro.telemetry.aggregate import read_worker_snapshots
+
+            self._metrics_flusher.flush()
+            document["workers"] = [
+                {
+                    "worker": index,
+                    "pid": doc.get("pid"),
+                    "written_at": doc.get("written_at"),
+                }
+                for index, doc in sorted(
+                    read_worker_snapshots(self.config.metrics_dir).items()
+                )
+            ]
+        else:
+            document["workers"] = [
+                {"worker": self.config.worker_label, "pid": os.getpid()}
+            ]
+        return document
+
+    @staticmethod
+    def _sum_counter(snapshot: Dict[str, Any], name: str) -> float:
+        """Total of a counter across all its series (and all workers)."""
+        doc = snapshot.get(name)
+        if not isinstance(doc, dict):
+            return 0.0
+        return float(
+            sum(series.get("value", 0.0) for series in doc.get("series", []))
+        )
+
     def healthz(self) -> Dict[str, Any]:
         """Liveness/readiness document; ``healthy`` is the 200/503 verdict.
 
@@ -775,8 +904,12 @@ class SynthesisService:
         self._poller_stop.set()
         if self._poller is not None:
             self._poller.join(timeout=5.0)
+        if self.probe is not None:
+            self.probe.stop()
         if self.worker is not None:
             self.worker.close(drain=drain)
         if self._metrics_flusher is not None:
             self._metrics_flusher.stop()
+        if self.trace_exporter is not None:
+            self.trace_exporter.uninstall()
         self.engine.close()

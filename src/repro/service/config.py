@@ -10,6 +10,9 @@ Everything the service persists lives under one data directory::
         jobs/<id>.json         durable fit-job journal records
         jobs/<id>.<stage>.npz  fit stage checkpoints (resume-after-crash)
         ledger.jsonl           append-only privacy-spend journal
+        traces/trace-*.jsonl   per-worker trace-export ring files
+        observatory/           utility-probe results + drift events
+        metrics/worker-*.json  per-worker metrics snapshots (pre-fork)
 
 The layout is deliberately plain files: a data curator can audit the
 ledger with ``cat``, copy a model NPZ out for offline use, or back the
@@ -23,7 +26,7 @@ import re
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 PathLike = Union[str, Path]
 
@@ -173,6 +176,34 @@ class ServiceConfig:
         How often each pre-fork worker flushes its metrics snapshot to
         ``<data_dir>/metrics/worker-<index>.json`` for cross-worker
         aggregation by ``GET /metrics``.
+    slow_request_seconds:
+        Requests slower than this are logged at ``warning`` with their
+        request id and counted in ``dpcopula_http_slow_requests_total``;
+        their exported traces are flagged ``slow``.  ``None`` disables
+        slow-request detection.
+    latency_buckets:
+        Override for the default latency-histogram bucket boundaries
+        (seconds, any order).  ``None`` keeps the built-in 1 ms–5 min
+        spread.  The ``DPCOPULA_LATENCY_BUCKETS`` environment variable
+        (comma-separated seconds) wins over this field.
+    trace_export_enabled:
+        Whether completed trace roots (per-request traces, service
+        fits) are appended to the durable per-worker JSONL ring under
+        ``<data_dir>/traces/``.
+    trace_export_max_bytes / trace_export_files:
+        Ring geometry per worker: the active file rotates when it would
+        exceed ``max_bytes``, keeping at most ``files`` files.
+    probe_interval_seconds:
+        Period of the continuous utility-probe loop on the fit-owner
+        worker.  ``0`` (the default) disables the background loop; the
+        probe object still exists for on-demand cycles.
+    probe_sample_size:
+        Records drawn per model per probe cycle (deterministic seed, so
+        repeated probes of one generation are bitwise identical).
+    probe_drift_threshold:
+        A generation hot-swap whose released statistics shift by more
+        than this (TVD on margins, |Δρ| on dependence) emits a
+        structured drift event.
     """
 
     data_dir: PathLike
@@ -192,6 +223,14 @@ class ServiceConfig:
     workers: int = 1
     worker_index: Optional[int] = None
     metrics_flush_seconds: float = 1.0
+    slow_request_seconds: Optional[float] = 1.0
+    latency_buckets: Optional[Tuple[float, ...]] = None
+    trace_export_enabled: bool = True
+    trace_export_max_bytes: int = 4 * 1024 * 1024
+    trace_export_files: int = 2
+    probe_interval_seconds: float = 0.0
+    probe_sample_size: int = 512
+    probe_drift_threshold: float = 0.05
 
     @property
     def root(self) -> Path:
@@ -218,8 +257,21 @@ class ServiceConfig:
         return self.root / "metrics"
 
     @property
+    def traces_dir(self) -> Path:
+        return self.root / "traces"
+
+    @property
+    def observatory_dir(self) -> Path:
+        return self.root / "observatory"
+
+    @property
     def ledger_path(self) -> Path:
         return self.root / "ledger.jsonl"
+
+    @property
+    def worker_label(self) -> str:
+        """This process's label in trace files and metric aggregation."""
+        return "main" if self.worker_index is None else str(self.worker_index)
 
     @property
     def is_fit_owner(self) -> bool:

@@ -25,6 +25,8 @@ POST      /fits/<id>/cancel               request cooperative cancellation
 GET       /models                         list registered model records
 GET       /models/<id>                    one model record
 POST      /models/<id>/sample             draw records: ``{"n", "seed"}``
+GET       /budget                         per-dataset ε burn-down timelines
+GET       /debug/observatory              fleet observatory document (JSON)
 ==========================================================================
 
 All request and response bodies are JSON (UTF-8) except ``/metrics``,
@@ -53,6 +55,7 @@ from __future__ import annotations
 import json
 import re
 import socket
+import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
@@ -60,7 +63,7 @@ from typing import Any, Optional, Tuple
 from repro.dp.budget import BudgetExhaustedError
 from repro.service.app import SynthesisService
 from repro.service.errors import ServiceError
-from repro.telemetry import bind_context, get_logger, metrics
+from repro.telemetry import bind_context, get_logger, metrics, trace
 
 __all__ = ["build_server", "SynthesisRequestHandler"]
 
@@ -73,6 +76,15 @@ _REQUESTS_TOTAL = metrics.REGISTRY.counter(
 _THROTTLED_TOTAL = metrics.REGISTRY.counter(
     "dpcopula_http_throttled_total",
     "Requests refused with 429 (fit queue full or sampling engine overloaded)",
+)
+_REQUEST_SECONDS = metrics.REGISTRY.histogram(
+    "dpcopula_http_request_seconds",
+    "End-to-end request handling wall clock, by method/route "
+    "(JSON snapshot carries per-bucket request-id exemplars)",
+)
+_SLOW_REQUESTS = metrics.REGISTRY.counter(
+    "dpcopula_http_slow_requests_total",
+    "Requests slower than the configured slow-request threshold (label: route)",
 )
 
 #: Uploads above this size are refused outright (64 MiB of CSV text).
@@ -101,6 +113,8 @@ _ROUTES = [
     ("GET", re.compile(r"^/models$"), "list_models"),
     ("GET", re.compile(rf"^/models/{_ID}$"), "model_info"),
     ("POST", re.compile(rf"^/models/{_ID}/sample$"), "sample_model"),
+    ("GET", re.compile(r"^/budget$"), "budget"),
+    ("GET", re.compile(r"^/debug/observatory$"), "observatory"),
 ]
 
 
@@ -113,6 +127,9 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
     # Set by build_server on the handler subclass.
     service: SynthesisService = None  # type: ignore[assignment]
     quiet: bool = True
+    #: The current request's correlation id, echoed as ``X-Request-ID``
+    #: on every response (set per-request by ``_dispatch``).
+    _request_id: Optional[str] = None
     #: Pre-fork worker identity echoed on every response (``None`` for
     #: the single-process server): lets clients and the scale-out bench
     #: see which process served them.
@@ -139,6 +156,8 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self.worker_label is not None:
             self.send_header("X-DPCopula-Worker", self.worker_label)
+        if self._request_id is not None:
+            self.send_header("X-Request-ID", self._request_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -151,6 +170,8 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self.worker_label is not None:
             self.send_header("X-DPCopula-Worker", self.worker_label)
+        if self._request_id is not None:
+            self.send_header("X-Request-ID", self._request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -166,12 +187,30 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceError(400, f"request body is not valid JSON: {exc}")
 
+    def _run_handler(self, name: str, handler, route_id) -> Tuple[int, Any]:
+        """Invoke a route handler, under a per-request trace if exporting.
+
+        When the durable trace exporter is installed, each request runs
+        under its own trace root: spans opened anywhere below (engine,
+        parallel chunks) collect into one tree, and on completion the
+        exporter appends it to the worker's trace log keyed by the bound
+        request id.  Without an exporter the request path stays exactly
+        as cheap as before — one attribute read.
+        """
+        if self.service.trace_exporter is None:
+            return handler(route_id)
+        with trace.trace_root("http.request", method=self.command, route=name):
+            return handler(route_id)
+
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         # Every request gets a request id bound into the logging context,
         # so all log lines a handler (or the service underneath) emits
-        # carry it; clients get it back for support correlation.
+        # carry it; clients get it back as X-Request-ID (an inbound one
+        # is honored) for support correlation against exported traces.
         request_id = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:12]
+        self._request_id = request_id
+        started = time.perf_counter()
         with bind_context(request_id=request_id):
             matched_path = False
             for route_method, pattern, name in _ROUTES:
@@ -184,7 +223,9 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
                 handler = getattr(self, f"_handle_{name}")
                 extra_headers: Optional[dict] = None
                 try:
-                    status, payload = handler(match.groupdict().get("id"))
+                    status, payload = self._run_handler(
+                        name, handler, match.groupdict().get("id")
+                    )
                 except ServiceError as exc:
                     status, payload = exc.status, {"error": exc.message}
                     retry_after = getattr(exc, "retry_after", None)
@@ -204,10 +245,32 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
                         extra={"method": method, "path": path},
                     )
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                elapsed = time.perf_counter() - started
                 _REQUESTS_TOTAL.inc(method=method, route=name, status=str(status))
+                _REQUEST_SECONDS.observe(
+                    elapsed, exemplar=request_id, method=method, route=name
+                )
+                slow_after = self.service.config.slow_request_seconds
+                if slow_after is not None and elapsed >= slow_after:
+                    _SLOW_REQUESTS.inc(route=name)
+                    _logger.warning(
+                        "slow request",
+                        extra={
+                            "method": method,
+                            "path": path,
+                            "status": status,
+                            "seconds": round(elapsed, 6),
+                            "threshold": slow_after,
+                        },
+                    )
                 _logger.debug(
                     "request served",
-                    extra={"method": method, "path": path, "status": status},
+                    extra={
+                        "method": method,
+                        "path": path,
+                        "status": status,
+                        "seconds": round(elapsed, 6),
+                    },
                 )
                 self._send_json(status, payload, extra_headers)
                 return
@@ -293,6 +356,12 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         return 200, self.service.sample(
             model_id, n=body.get("n"), seed=body.get("seed")
         )
+
+    def _handle_budget(self, _: Optional[str]) -> Tuple[int, Any]:
+        return 200, self.service.budget_overview()
+
+    def _handle_observatory(self, _: Optional[str]) -> Tuple[int, Any]:
+        return 200, self.service.observatory_snapshot()
 
 
 class _ReusePortHTTPServer(ThreadingHTTPServer):

@@ -51,6 +51,7 @@ from typing import Dict, Optional
 
 from repro.service.config import ServiceConfig
 from repro.telemetry import get_logger
+from repro.telemetry.aggregate import prune_worker_snapshot
 
 __all__ = [
     "PreforkServer",
@@ -234,6 +235,12 @@ class PreforkServer:
 
     def _spawn(self, index: int) -> None:
         self._ready_indexes.discard(index)
+        # Drop any metrics snapshot left by a previous process at this
+        # index (a crashed worker, or a prior deployment over the same
+        # data dir): `GET /metrics` aggregation must never mix a dead
+        # process's last flush with the new process's counters under
+        # the same worker label.
+        prune_worker_snapshot(self.config.metrics_dir, index)
         config = replace(self.config, worker_index=index)
         process = self._ctx.Process(
             target=_worker_main,

@@ -84,6 +84,23 @@ def _statistic(u: np.ndarray, correlation: np.ndarray) -> float:
     return float(uniformity + off_diagonal + 4.0 * radial)
 
 
+def copula_probe_statistic(
+    pseudo_copula: np.ndarray, correlation: np.ndarray
+) -> float:
+    """The Rosenblatt misfit score alone — no bootstrap, no p-value.
+
+    The continuous utility probes (``repro.telemetry.observatory``) need
+    a cheap, deterministic misfit number per probe cycle; the bootstrap
+    calibration of :func:`gaussian_copula_gof` is ~100x the cost and
+    only needed for a hypothesis test.  Smaller is better; the score is
+    comparable across cycles of the same model/sample size, which is
+    what a drift monitor needs.
+    """
+    u = np.atleast_2d(np.asarray(pseudo_copula, dtype=float))
+    correlation = check_matrix_square("correlation", correlation)
+    return _statistic(u, correlation)
+
+
 @dataclass(frozen=True)
 class GoodnessOfFitResult:
     """Outcome of the Gaussian-copula goodness-of-fit test."""

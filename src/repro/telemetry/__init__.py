@@ -13,7 +13,13 @@ three stdlib-only pieces:
 * :mod:`repro.telemetry.tracing` — a span tracer
   (``with trace.span("kendall_matrix", m=m):``) that is free when
   disabled, flows across thread/process pool workers, and never
-  perturbs results.
+  perturbs results;
+* :mod:`repro.telemetry.export` — durable trace export: completed span
+  trees appended to size-bounded JSONL ring files per worker;
+* :mod:`repro.telemetry.observatory` — ε burn-down timelines from the
+  privacy ledger and continuous model-utility probes (imported lazily
+  by the service; it pulls in numpy/scipy, unlike the rest of the
+  package).
 
 Everything is disabled or silent by default: importing the library (or
 running a fit) emits nothing until an entry point opts in.  See
@@ -38,7 +44,14 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.telemetry.tracing import Span, render, span, trace_root
+from repro.telemetry.export import TraceExporter
+from repro.telemetry.tracing import (
+    Span,
+    render,
+    set_export_sink,
+    span,
+    trace_root,
+)
 
 __all__ = [
     "Counter",
@@ -49,12 +62,14 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "Span",
+    "TraceExporter",
     "bind_context",
     "configure_logging",
     "current_context",
     "get_logger",
     "metrics",
     "render",
+    "set_export_sink",
     "span",
     "trace",
     "trace_root",

@@ -17,8 +17,11 @@ module makes that scrape see the whole fleet:
   wanted).
 
 The files are snapshots, not streams: a worker that died keeps its last
-file until a supervisor respawn (same index) overwrites it, so counters
-never regress mid-scrape — they just go momentarily stale.
+file only until the supervisor respawns that index — the spawn path
+prunes the dead process's file (:func:`prune_worker_snapshot`) before
+the replacement starts, so a scrape never mixes a stale snapshot's
+counters with the fresh process's restarted ones under the same worker
+label.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from repro.telemetry.metrics import (
 __all__ = [
     "MetricsFlusher",
     "aggregate_snapshot",
+    "prune_worker_snapshot",
     "read_worker_snapshots",
     "render_prometheus_multi",
     "worker_snapshot_path",
@@ -83,6 +87,22 @@ def write_snapshot(
             pass
         raise
     return path
+
+
+def prune_worker_snapshot(metrics_dir, worker_index: int) -> bool:
+    """Remove a dead worker's snapshot file; returns whether one existed.
+
+    Called by the pre-fork supervisor immediately before (re)spawning a
+    worker index: the outgoing process's last flush must not be
+    aggregated alongside — or instead of — the new process's counters.
+    Best-effort: a racing unlink or missing file is not an error.
+    """
+    path = worker_snapshot_path(metrics_dir, worker_index)
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False
 
 
 def read_worker_snapshots(metrics_dir) -> Dict[int, Dict[str, Any]]:

@@ -1,0 +1,225 @@
+"""Durable trace export: completed span trees → JSONL ring files.
+
+In-memory span trees (``repro.telemetry.tracing``) answer *where did
+this run spend its time* while the process is alive; this module makes
+them outlive the process.  A :class:`TraceExporter` installs itself as
+the tracing layer's completed-trace sink and appends every finished
+top-level trace — service fits, per-request HTTP traces, profiled CLI
+runs — to a per-worker JSONL file under ``<data-dir>/traces/``.
+
+Design constraints:
+
+* **Bounded.**  Each worker writes a small ring: when the active file
+  would exceed ``max_bytes`` it is rotated (``trace-N.jsonl`` →
+  ``trace-N.jsonl.1`` → …) keeping at most ``max_files`` files per
+  worker.  Disk use is ``workers × max_files × max_bytes``, forever.
+* **Never in the way.**  Appends are buffered writes under a thread
+  lock with no fsync — a lost tail on power failure is acceptable for
+  diagnostics.  Any export error increments a counter and is swallowed;
+  traced code cannot be broken by its own telemetry.
+* **Joinable.**  Each record carries the correlation ids bound when the
+  trace completed (``request_id``/``job_id`` from the logging context),
+  which is the same id echoed to clients as ``X-Request-ID`` and
+  attached to latency-histogram buckets as an exemplar — one key joins
+  a client-reported failure, the access log, the metrics and the trace.
+
+File format: one JSON object per line::
+
+    {"trace_id": "9f2c4b1a0d3e", "job_id": null, "worker": "0",
+     "ts": 1754500000.123, "duration": 0.0041, "slow": false,
+     "root": {"name": "http.request", "attrs": {...}, "children": [...]}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry import tracing
+from repro.telemetry.logs import current_context, get_logger
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.tracing import Span
+
+__all__ = ["TraceExporter", "list_trace_files"]
+
+_logger = get_logger("telemetry.export")
+
+_TRACES_EXPORTED = REGISTRY.counter(
+    "dpcopula_traces_exported_total",
+    "Completed trace roots appended to the durable trace log",
+)
+_TRACE_EXPORT_ERRORS = REGISTRY.counter(
+    "dpcopula_trace_export_errors_total",
+    "Trace export attempts that failed (trace dropped, work unaffected)",
+)
+_TRACE_EXPORT_ROTATIONS = REGISTRY.counter(
+    "dpcopula_trace_export_rotations_total",
+    "Trace-log ring rotations (active file hit its size bound)",
+)
+
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+DEFAULT_MAX_FILES = 2
+
+
+def list_trace_files(traces_dir) -> List[Dict[str, Any]]:
+    """Inventory of trace-export files under a directory (JSON-ready)."""
+    directory = Path(traces_dir)
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.glob("trace-*.jsonl*")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        out.append(
+            {
+                "file": path.name,
+                "bytes": stat.st_size,
+                "modified_at": stat.st_mtime,
+            }
+        )
+    return out
+
+
+class TraceExporter:
+    """Appends completed trace roots to a size-bounded JSONL ring.
+
+    One exporter per worker process; the file name carries the worker
+    label so a fleet's traces never contend on one file.  Install with
+    :meth:`install` (registers as the tracing sink) and tear down with
+    :meth:`uninstall` — uninstall only removes the sink if it is still
+    this exporter, so overlapping service lifetimes in one process (the
+    test suite) cannot yank each other's hook.
+    """
+
+    def __init__(
+        self,
+        traces_dir,
+        worker_label: str = "main",
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_files: int = DEFAULT_MAX_FILES,
+        slow_threshold: Optional[float] = None,
+    ):
+        if max_bytes < 4096:
+            raise ValueError(f"trace export max_bytes too small: {max_bytes}")
+        if max_files < 1:
+            raise ValueError(f"trace export max_files must be >= 1: {max_files}")
+        self.directory = Path(traces_dir)
+        self.worker_label = str(worker_label)
+        self.max_bytes = int(max_bytes)
+        self.max_files = int(max_files)
+        self.slow_threshold = slow_threshold
+        self.path = self.directory / f"trace-{self.worker_label}.jsonl"
+        self._lock = threading.Lock()
+        self._handle = None
+        self._size = 0
+        self.exported = 0
+
+    # -- sink plumbing -------------------------------------------------
+
+    def install(self) -> "TraceExporter":
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tracing.set_export_sink(self.export)
+        return self
+
+    def uninstall(self) -> None:
+        # Bound methods are recreated per access, so compare by equality
+        # (same function, same instance) — ``is`` would never match.
+        if tracing.get_export_sink() == self.export:
+            tracing.set_export_sink(None)
+        self._close_handle()
+
+    # -- export --------------------------------------------------------
+
+    def export(self, root: Span) -> None:
+        """Append one completed trace root (the tracing-layer sink)."""
+        try:
+            record = self._record(root)
+            payload = json.dumps(record, sort_keys=True) + "\n"
+            data = payload.encode("utf-8")
+            with self._lock:
+                handle = self._ensure_handle()
+                if self._size and self._size + len(data) > self.max_bytes:
+                    handle = self._rotate()
+                handle.write(data)
+                # Flush to the page cache (no fsync): readers — tests,
+                # `dpcopula top`, tail -f — see whole records while the
+                # append stays one buffered write + one syscall.
+                handle.flush()
+                self._size += len(data)
+                self.exported += 1
+            _TRACES_EXPORTED.inc()
+        except Exception:  # noqa: BLE001 - diagnostics must not break work
+            self._close_handle()
+            _TRACE_EXPORT_ERRORS.inc()
+
+    def _ensure_handle(self):
+        """The open append handle (kept across records: opening the
+        file per export dominated its cost)."""
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+            self._size = os.fstat(self._handle.fileno()).st_size
+        return self._handle
+
+    def _close_handle(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:  # pragma: no cover - close best-effort
+                    pass
+                self._handle = None
+
+    def _record(self, root: Span) -> Dict[str, Any]:
+        context = current_context()
+        duration = root.duration
+        slow = bool(
+            self.slow_threshold is not None
+            and duration is not None
+            and duration >= self.slow_threshold
+        )
+        return {
+            # The bound request id *is* the trace id (one trace per
+            # request); traces completed outside a request (fits, CLI
+            # profiles) fall back to the job id or the root name.
+            "trace_id": context.get("request_id")
+            or context.get("job_id")
+            or root.name,
+            "job_id": context.get("job_id"),
+            "worker": self.worker_label,
+            "ts": time.time(),
+            "duration": duration,
+            "slow": slow,
+            "root": root.to_dict(),
+        }
+
+    def _rotate(self):
+        """Shift the ring (caller holds the lock) and reopen the active
+        file: .(N-1) → dropped, … , active → .1."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        for index in range(self.max_files - 1, 0, -1):
+            source = (
+                self.path
+                if index == 1
+                else self.path.with_name(f"{self.path.name}.{index - 1}")
+            )
+            target = self.path.with_name(f"{self.path.name}.{index}")
+            if source.exists():
+                os.replace(source, target)
+        if self.max_files == 1:
+            self.path.unlink(missing_ok=True)
+        _TRACE_EXPORT_ROTATIONS.inc()
+        return self._ensure_handle()
+
+    # -- introspection -------------------------------------------------
+
+    def inventory(self) -> List[Dict[str, Any]]:
+        return list_trace_files(self.directory)

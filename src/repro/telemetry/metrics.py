@@ -43,6 +43,8 @@ __all__ = [
     "REGISTRY",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_FANOUT_BUCKETS",
+    "LATENCY_BUCKETS_ENV_VAR",
+    "parse_latency_buckets",
 ]
 
 #: Wall-clock buckets (seconds) spanning sub-millisecond sampling calls
@@ -55,6 +57,33 @@ DEFAULT_LATENCY_BUCKETS = (
 #: Task-count buckets for fan-out histograms (powers of two up to the
 #: parallel layer's per-call item cap).
 DEFAULT_FANOUT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+#: Environment override for the default latency-bucket boundaries: a
+#: comma-separated list of seconds, e.g. ``"0.005,0.05,0.5,5"``.  Wins
+#: over ``ServiceConfig.latency_buckets``.
+LATENCY_BUCKETS_ENV_VAR = "DPCOPULA_LATENCY_BUCKETS"
+
+
+def parse_latency_buckets(text: str) -> Tuple[float, ...]:
+    """Parse a comma-separated bucket-boundary list into sorted floats.
+
+    Raises ``ValueError`` on empty input, non-numeric entries, or
+    non-finite boundaries — callers surface that as a config error
+    rather than silently falling back.
+    """
+    parts = [piece.strip() for piece in text.split(",") if piece.strip()]
+    if not parts:
+        raise ValueError("latency buckets: need at least one boundary")
+    bounds = []
+    for piece in parts:
+        try:
+            bound = float(piece)
+        except ValueError:
+            raise ValueError(f"latency buckets: {piece!r} is not a number") from None
+        if not math.isfinite(bound) or bound <= 0:
+            raise ValueError(f"latency buckets: {piece!r} must be finite and > 0")
+        bounds.append(bound)
+    return tuple(sorted(set(bounds)))
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -179,8 +208,13 @@ class Histogram(_Instrument):
             raise ValueError(f"histogram {name} buckets must be finite")
         # The implicit +Inf bucket is stored as the last slot.
         self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: Set by the registry for histograms created with the default
+        #: latency buckets — the ones a bucket reconfiguration retargets.
+        self.uses_default_latency_buckets = False
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[str] = None, **labels: Any
+    ) -> None:
         value = float(value)
         key = _label_key(labels)
         index = bisect.bisect_left(self.bounds, value)
@@ -196,6 +230,30 @@ class Histogram(_Instrument):
             series["buckets"][index] += 1
             series["sum"] += value
             series["count"] += 1
+            if exemplar is not None:
+                # Keep the most recent exemplar per bucket: a trace or
+                # request id an operator can join to the exported trace
+                # for a representative observation in that latency band.
+                series.setdefault("exemplars", {})[index] = {
+                    "trace_id": str(exemplar),
+                    "value": value,
+                }
+
+    def rebucket(self, buckets: Sequence[float]) -> None:
+        """Replace the bucket boundaries, dropping any recorded series.
+
+        Only safe at configuration time (service start-up) — recorded
+        counts cannot be redistributed into new boundaries, so they are
+        cleared rather than misreported.
+        """
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+        if any(b != b for b in bounds):  # NaN
+            raise ValueError(f"histogram {self.name} buckets must be finite")
+        with self._lock:
+            self.bounds = tuple(bounds)
+            self._series.clear()
 
     def count(self, **labels: Any) -> int:
         with self._lock:
@@ -209,26 +267,41 @@ class Histogram(_Instrument):
 
     def snapshot_series(self) -> List[Dict[str, Any]]:
         with self._lock:
+            bounds = self.bounds
             items = [
-                (key, list(series["buckets"]), series["sum"], series["count"])
+                (
+                    key,
+                    list(series["buckets"]),
+                    series["sum"],
+                    series["count"],
+                    {k: dict(v) for k, v in series.get("exemplars", {}).items()},
+                )
                 for key, series in sorted(self._series.items())
             ]
         out = []
-        for key, buckets, total, count in items:
+        for key, buckets, total, count, exemplars in items:
             cumulative: Dict[str, int] = {}
             running = 0
-            for bound, in_bucket in zip(self.bounds, buckets):
+            for bound, in_bucket in zip(bounds, buckets):
                 running += in_bucket
                 cumulative[_format_value(bound)] = running
             cumulative["+Inf"] = running + buckets[-1]
-            out.append(
-                {
-                    "labels": dict(key),
-                    "buckets": cumulative,
-                    "sum": total,
-                    "count": count,
+            doc = {
+                "labels": dict(key),
+                "buckets": cumulative,
+                "sum": total,
+                "count": count,
+            }
+            if exemplars:
+                # JSON-snapshot only: the 0.0.4 text format predates
+                # exemplars and classic parsers would reject them.
+                labels_for = [_format_value(b) for b in bounds] + ["+Inf"]
+                doc["exemplars"] = {
+                    labels_for[index]: payload
+                    for index, payload in sorted(exemplars.items())
+                    if index < len(labels_for)
                 }
-            )
+            out.append(doc)
         return out
 
     def render(self) -> List[str]:
@@ -257,6 +330,7 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._instruments: Dict[str, _Instrument] = {}
+        self._latency_buckets: Optional[Tuple[float, ...]] = None
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Instrument:
         with self._lock:
@@ -285,7 +359,42 @@ class MetricsRegistry:
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        uses_default = buckets is DEFAULT_LATENCY_BUCKETS
+        if uses_default and self._latency_buckets is not None:
+            buckets = self._latency_buckets
+        instrument = self._get_or_create(Histogram, name, help, buckets=buckets)
+        if uses_default:
+            instrument.uses_default_latency_buckets = True
+        return instrument
+
+    def configure_latency_buckets(
+        self, buckets: Optional[Sequence[float]]
+    ) -> None:
+        """Override the default latency boundaries registry-wide.
+
+        Latency histograms are declared at import time with the built-in
+        :data:`DEFAULT_LATENCY_BUCKETS`, so configurability has to act at
+        the registry: every histogram created with the default boundaries
+        — past or future — is rebucketed (dropping its recorded series,
+        which is why this belongs at service start-up, before traffic).
+        Histograms with purpose-built boundaries (fan-out sizes, batch
+        sizes) are left untouched.  ``None`` restores the built-ins.
+        """
+        new_bounds = (
+            tuple(DEFAULT_LATENCY_BUCKETS)
+            if buckets is None
+            else tuple(sorted(float(b) for b in buckets))
+        )
+        with self._lock:
+            self._latency_buckets = None if buckets is None else new_bounds
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            if (
+                isinstance(instrument, Histogram)
+                and instrument.uses_default_latency_buckets
+                and instrument.bounds != new_bounds
+            ):
+                instrument.rebucket(new_bounds)
 
     def get(self, name: str) -> Optional[_Instrument]:
         with self._lock:

@@ -1,0 +1,479 @@
+"""Fleet observatory: ε burn-down timelines and continuous utility probes.
+
+Two operator questions the raw metrics cannot answer:
+
+* **How fast is each dataset burning its ε budget?**
+  :func:`budget_timelines` replays privacy-ledger entries (already read
+  and deduplicated by the accountant's pure-read replay — no lock
+  traffic on the append path) into per-dataset burn-down timelines:
+  cumulative spend after every charge/refund plus remaining headroom
+  under the lifetime cap.  Served by ``GET /budget`` and rendered by
+  ``dpcopula budget``.
+
+* **How good is the data each served model generation produces?**
+  :class:`UtilityProbe` periodically draws a small *deterministic*
+  sample from every served model's compiled plan and compares it
+  against the model's own fitted DP statistics — the released noisy
+  margins and the repaired correlation.  The raw data is never touched,
+  so probing consumes **zero additional ε** (sampling a released model
+  is post-processing; the accountant ledger is byte-identical across a
+  probe cycle, asserted by tests).  Per-column total-variation distance,
+  pairwise Kendall-τ error (via the Gaussian-copula relation
+  ``τ = (2/π)·asin(ρ)``), and a copula-misfit statistic (reusing the
+  goodness-of-fit machinery) are published as gauges labelled by model
+  and generation.  When a hot-swap changes a model's generation, the
+  probe compares the released statistics across generations and emits a
+  structured **drift event** if any shift exceeds the configured
+  threshold.
+
+The probe runs on the fit-owner worker only (one prober per fleet); its
+latest results are persisted to ``<data-dir>/observatory/probes.json``
+and drift events are appended to ``observatory/drift.jsonl`` so *any*
+worker can serve them from ``GET /debug/observatory``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.stats.ecdf import HistogramCDF
+from repro.stats.goodness_of_fit import copula_probe_statistic
+from repro.stats.kendall import kendall_tau_matrix
+from repro.telemetry.logs import get_logger
+from repro.telemetry.metrics import REGISTRY
+
+__all__ = [
+    "UtilityProbe",
+    "budget_timelines",
+    "load_probe_document",
+    "read_drift_events",
+]
+
+_logger = get_logger("telemetry.observatory")
+
+_PROBE_MARGIN_TVD = REGISTRY.gauge(
+    "dpcopula_probe_margin_tvd",
+    "Per-column TVD between a deterministic probe sample and the model's "
+    "released DP margin (labels: model, generation, attribute)",
+)
+_PROBE_MARGIN_TVD_MAX = REGISTRY.gauge(
+    "dpcopula_probe_margin_tvd_max",
+    "Worst per-column probe TVD per model (labels: model, generation)",
+)
+_PROBE_TAU_ERROR = REGISTRY.gauge(
+    "dpcopula_probe_tau_error",
+    "Max pairwise |empirical τ − (2/π)·asin(ρ_DP)| of the probe sample "
+    "(labels: model, generation)",
+)
+_PROBE_COPULA_MISFIT = REGISTRY.gauge(
+    "dpcopula_probe_copula_misfit",
+    "Copula goodness-of-fit statistic of the probe sample against the "
+    "model's released correlation (labels: model, generation)",
+)
+_PROBE_RUNS = REGISTRY.counter(
+    "dpcopula_probe_runs_total", "Completed utility-probe cycles"
+)
+_PROBE_FAILURES = REGISTRY.counter(
+    "dpcopula_probe_failures_total",
+    "Models a probe cycle failed to evaluate (label: model)",
+)
+_PROBE_SECONDS = REGISTRY.histogram(
+    "dpcopula_probe_seconds", "Wall-clock seconds per utility-probe cycle"
+)
+_PROBE_DRIFT_EVENTS = REGISTRY.counter(
+    "dpcopula_probe_drift_events_total",
+    "Generation-to-generation drift events above threshold "
+    "(labels: model, metric)",
+)
+
+#: Drift-event log is bounded: when it exceeds this, it rotates once.
+_DRIFT_LOG_MAX_BYTES = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Privacy-budget timelines
+# ---------------------------------------------------------------------------
+
+
+def budget_timelines(
+    entries: Iterable[Dict[str, Any]],
+    epsilon_cap: float,
+    datasets: Iterable[str] = (),
+) -> Dict[str, Any]:
+    """Fold replayed ledger entries into per-dataset ε burn-down timelines.
+
+    ``entries`` is the accountant's pure-read replay (append order,
+    idempotency-deduplicated).  ``datasets`` adds known dataset ids so a
+    dataset with no charges yet still shows full headroom.  Refunds are
+    clipped at zero exactly like the accountant's in-memory replay.
+    """
+    epsilon_cap = float(epsilon_cap)
+    per_dataset: Dict[str, List[Dict[str, Any]]] = {}
+    for dataset_id in datasets:
+        per_dataset.setdefault(str(dataset_id), [])
+    for entry in entries:
+        per_dataset.setdefault(str(entry["dataset"]), []).append(entry)
+
+    timelines = []
+    for dataset_id in sorted(per_dataset):
+        spent = 0.0
+        events = []
+        for entry in per_dataset[dataset_id]:
+            epsilon = float(entry["epsilon"])
+            kind = str(entry.get("kind", "charge"))
+            if kind == "refund":
+                spent = max(0.0, spent - epsilon)
+            else:
+                spent += epsilon
+            events.append(
+                {
+                    "timestamp": entry.get("timestamp"),
+                    "epsilon": epsilon,
+                    "label": entry.get("label", ""),
+                    "kind": kind,
+                    "spent_after": spent,
+                    "remaining_after": max(0.0, epsilon_cap - spent),
+                }
+            )
+        timelines.append(
+            {
+                "dataset_id": dataset_id,
+                "epsilon_cap": epsilon_cap,
+                "epsilon_spent": spent,
+                "epsilon_remaining": max(0.0, epsilon_cap - spent),
+                "utilization": (spent / epsilon_cap) if epsilon_cap > 0 else 1.0,
+                "events": events,
+            }
+        )
+    return {"epsilon_cap": epsilon_cap, "datasets": timelines}
+
+
+# ---------------------------------------------------------------------------
+# Observatory file helpers
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = (json.dumps(document, sort_keys=True, indent=2) + "\n").encode()
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_probe_document(observatory_dir) -> Optional[Dict[str, Any]]:
+    """The latest persisted probe results, or ``None`` before the first run."""
+    path = Path(observatory_dir) / "probes.json"
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def read_drift_events(observatory_dir, limit: int = 50) -> List[Dict[str, Any]]:
+    """The most recent drift events (newest last), tolerant of a torn tail."""
+    path = Path(observatory_dir) / "drift.jsonl"
+    events: List[Dict[str, Any]] = []
+    for candidate in (path.with_name(path.name + ".1"), path):
+        try:
+            text = candidate.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+    return events[-int(limit):]
+
+
+# ---------------------------------------------------------------------------
+# Continuous utility probes
+# ---------------------------------------------------------------------------
+
+
+def probe_seed(model_id: str, generation: int) -> int:
+    """A stable 64-bit seed for one (model, generation) probe stream."""
+    digest = hashlib.blake2s(f"{model_id}:{int(generation)}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class UtilityProbe:
+    """Continuously scores served models against their own DP statistics.
+
+    ``registry`` is duck-typed to the model registry: ``list()`` returning
+    records with ``model_id``/``generation``, plus ``get(model_id)`` and
+    ``get_plan(model_id)``.  Each cycle draws a deterministic sample from
+    every served model's plan (seeded by ``blake2s(model_id:generation)``
+    so repeated probes of the same generation are bitwise identical and
+    never perturb any serving RNG stream) and publishes utility gauges.
+    The raw dataset is never read: zero additional ε.
+    """
+
+    def __init__(
+        self,
+        registry,
+        observatory_dir,
+        *,
+        worker_label: str = "main",
+        sample_size: int = 512,
+        drift_threshold: float = 0.05,
+        interval: float = 0.0,
+        max_models: int = 8,
+    ):
+        if sample_size < 8:
+            raise ValueError(f"probe sample_size too small: {sample_size}")
+        self.registry = registry
+        self.observatory_dir = Path(observatory_dir)
+        self.worker_label = str(worker_label)
+        self.sample_size = int(sample_size)
+        self.drift_threshold = float(drift_threshold)
+        self.interval = float(interval)
+        self.max_models = int(max_models)
+        self._baselines: Dict[str, Dict[str, Any]] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.cycles = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "UtilityProbe":
+        """Begin the background loop (no-op when the interval is 0)."""
+        if self.interval <= 0 or self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="dpcopula-utility-probe", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.run_once()
+            except Exception:  # noqa: BLE001 - the loop must survive
+                _logger.exception("utility probe cycle failed")
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- one probe cycle -----------------------------------------------
+
+    def run_once(self) -> Dict[str, Any]:
+        """Probe every served model once; persist and return the document."""
+        started = time.perf_counter()
+        records = list(self.registry.list())
+        probed_records = records[: self.max_models]
+        if len(records) > len(probed_records):
+            _logger.warning(
+                "probe cycle capped",
+                extra={
+                    "models_total": len(records),
+                    "models_probed": len(probed_records),
+                },
+            )
+        models: List[Dict[str, Any]] = []
+        drift_events: List[Dict[str, Any]] = []
+        # These gauges are owned exclusively by the probe: clearing them
+        # each cycle drops series for deleted models and superseded
+        # generations instead of reporting them forever.
+        for gauge in (
+            _PROBE_MARGIN_TVD,
+            _PROBE_MARGIN_TVD_MAX,
+            _PROBE_TAU_ERROR,
+            _PROBE_COPULA_MISFIT,
+        ):
+            gauge.clear()
+        for record in probed_records:
+            try:
+                result, stats = self._probe_model(record)
+            except Exception:  # noqa: BLE001 - one bad model, not the cycle
+                _PROBE_FAILURES.inc(model=record.model_id)
+                _logger.exception(
+                    "model probe failed", extra={"model_id": record.model_id}
+                )
+                continue
+            self._publish(result)
+            drift_events.extend(self._check_drift(record, stats, result))
+            models.append(result)
+        elapsed = time.perf_counter() - started
+        document = {
+            "written_at": time.time(),
+            "worker": self.worker_label,
+            "interval_seconds": self.interval,
+            "sample_size": self.sample_size,
+            "drift_threshold": self.drift_threshold,
+            "models_total": len(records),
+            "models_probed": len(models),
+            "probe_seconds": elapsed,
+            "models": models,
+        }
+        try:
+            _atomic_write_json(self.observatory_dir / "probes.json", document)
+            if drift_events:
+                self._append_drift(drift_events)
+        except OSError:
+            _logger.exception("failed to persist probe results")
+        _PROBE_RUNS.inc()
+        _PROBE_SECONDS.observe(elapsed)
+        self.cycles += 1
+        return document
+
+    def _probe_model(self, record):
+        """Score one model; returns (JSON-ready result, raw DP statistics)."""
+        model = self.registry.get(record.model_id)
+        plan = self.registry.get_plan(record.model_id)
+        generation = int(record.generation)
+        seed = probe_seed(record.model_id, generation)
+        sample = plan.sample(self.sample_size, np.random.default_rng(seed))
+        values = sample.values
+        n = values.shape[0]
+        m = values.shape[1]
+
+        margins = [HistogramCDF(counts) for counts in model.margin_counts]
+        names = [attribute.name for attribute in model.schema]
+        margin_tvd: Dict[str, float] = {}
+        for j, cdf in enumerate(margins):
+            empirical = np.bincount(values[:, j], minlength=cdf.domain_size) / n
+            margin_tvd[names[j]] = 0.5 * float(np.abs(empirical - cdf.pmf).sum())
+
+        # The repaired PSD correlation the sampler actually uses — the
+        # Cholesky factor reassembled, not the raw noisy estimate.
+        cholesky = np.asarray(plan.cholesky)
+        correlation = cholesky @ cholesky.T
+        tau_error = 0.0
+        if m >= 2:
+            tau_empirical = kendall_tau_matrix(values)
+            tau_expected = (2.0 / np.pi) * np.arcsin(
+                np.clip(correlation, -1.0, 1.0)
+            )
+            off_diagonal = ~np.eye(m, dtype=bool)
+            tau_error = float(
+                np.abs(tau_empirical - tau_expected)[off_diagonal].max()
+            )
+
+        # Copula misfit: push the sample through the model's own margin
+        # CDFs (midpoint PIT) and score uniformity + dependence fit of
+        # the resulting pseudo-copula against the released correlation.
+        pseudo = np.column_stack([cdf(values[:, j]) for j, cdf in enumerate(margins)])
+        misfit = float(copula_probe_statistic(pseudo, correlation))
+
+        result = {
+            "model_id": record.model_id,
+            "generation": generation,
+            "seed": seed,
+            "sample_size": n,
+            "margin_tvd": margin_tvd,
+            "margin_tvd_max": max(margin_tvd.values()) if margin_tvd else 0.0,
+            "tau_error": tau_error,
+            "copula_misfit": misfit,
+        }
+        stats = {
+            "pmfs": [cdf.pmf for cdf in margins],
+            "correlation": correlation,
+        }
+        return result, stats
+
+    def _publish(self, result: Dict[str, Any]) -> None:
+        model_id = result["model_id"]
+        generation = str(result["generation"])
+        for attribute, tvd in result["margin_tvd"].items():
+            _PROBE_MARGIN_TVD.set(
+                tvd, model=model_id, generation=generation, attribute=attribute
+            )
+        _PROBE_MARGIN_TVD_MAX.set(
+            result["margin_tvd_max"], model=model_id, generation=generation
+        )
+        _PROBE_TAU_ERROR.set(
+            result["tau_error"], model=model_id, generation=generation
+        )
+        _PROBE_COPULA_MISFIT.set(
+            result["copula_misfit"], model=model_id, generation=generation
+        )
+
+    # -- drift ---------------------------------------------------------
+
+    def _check_drift(self, record, stats, result) -> List[Dict[str, Any]]:
+        """Compare released DP statistics across a generation change."""
+        model_id = record.model_id
+        generation = int(record.generation)
+        baseline = self._baselines.get(model_id)
+        self._baselines[model_id] = {"generation": generation, **stats}
+        if baseline is None or baseline["generation"] == generation:
+            return []
+
+        shifts: Dict[str, float] = {}
+        old_pmfs, new_pmfs = baseline["pmfs"], stats["pmfs"]
+        if len(old_pmfs) != len(new_pmfs) or any(
+            old.shape != new.shape for old, new in zip(old_pmfs, new_pmfs)
+        ):
+            shifts["margin_shift"] = 1.0
+            shifts["dependence_shift"] = 1.0
+        else:
+            shifts["margin_shift"] = max(
+                0.5 * float(np.abs(new - old).sum())
+                for old, new in zip(old_pmfs, new_pmfs)
+            )
+            delta = np.abs(stats["correlation"] - baseline["correlation"])
+            off = ~np.eye(delta.shape[0], dtype=bool)
+            shifts["dependence_shift"] = (
+                float(delta[off].max()) if off.any() else 0.0
+            )
+
+        events = []
+        for metric, shift in sorted(shifts.items()):
+            if shift <= self.drift_threshold:
+                continue
+            event = {
+                "ts": time.time(),
+                "model_id": model_id,
+                "from_generation": baseline["generation"],
+                "to_generation": generation,
+                "metric": metric,
+                "value": shift,
+                "threshold": self.drift_threshold,
+                "worker": self.worker_label,
+            }
+            events.append(event)
+            _PROBE_DRIFT_EVENTS.inc(model=model_id, metric=metric)
+            _logger.warning("model drift detected", extra=event)
+        return events
+
+    def _append_drift(self, events: List[Dict[str, Any]]) -> None:
+        path = self.observatory_dir / "drift.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            if path.stat().st_size > _DRIFT_LOG_MAX_BYTES:
+                os.replace(path, path.with_name(path.name + ".1"))
+        except OSError:
+            pass
+        with open(path, "a", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")

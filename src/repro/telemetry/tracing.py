@@ -49,8 +49,10 @@ __all__ = [
     "Span",
     "attach",
     "call_collected",
+    "get_export_sink",
     "is_active",
     "render",
+    "set_export_sink",
     "span",
     "trace_root",
 ]
@@ -63,6 +65,29 @@ _STAGE_SECONDS = REGISTRY.histogram(
 _ACTIVE: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
     "dpcopula_active_span", default=None
 )
+
+#: Optional process-wide sink invoked with every *completed top-level*
+#: trace root (nested roots stay attached to their parent instead).  The
+#: durable trace exporter (``repro.telemetry.export``) installs itself
+#: here; ``None`` keeps the export path completely free.
+_EXPORT_SINK: Optional[Callable[["Span"], None]] = None
+
+
+def set_export_sink(sink: Optional[Callable[["Span"], None]]) -> None:
+    """Install (or, with ``None``, remove) the completed-trace sink.
+
+    The sink sees every finished top-level root in the process — service
+    fits, per-request traces, profiled CLI runs.  It runs inline on the
+    traced thread, so it must be fast; any exception it raises is
+    swallowed so export can never break traced code.
+    """
+    global _EXPORT_SINK
+    _EXPORT_SINK = sink
+
+
+def get_export_sink() -> Optional[Callable[["Span"], None]]:
+    """The currently installed completed-trace sink, if any."""
+    return _EXPORT_SINK
 
 
 class Span:
@@ -167,6 +192,11 @@ def trace_root(name: str, **attrs: Any) -> Iterator[Span]:
         _STAGE_SECONDS.observe(root.duration, stage=root.name)
         if parent is not None:
             parent.children.append(root)
+        elif _EXPORT_SINK is not None:
+            try:
+                _EXPORT_SINK(root)
+            except Exception:  # noqa: BLE001 - export must never break work
+                pass
 
 
 def call_collected(

@@ -453,3 +453,119 @@ class TestFollowerService:
             assert document["queue_depth"] == 0
         finally:
             follower.close()
+
+
+class TestStaleSnapshotPrune:
+    def test_respawn_discards_dead_workers_snapshot(
+        self, fleet_factory, small_dataset
+    ):
+        model = _fit_release(small_dataset)
+        supervisor, model_id = fleet_factory(2, model=model)
+        config = supervisor.config
+        assert _sample(supervisor.port, model_id, 10, 1)[0] == 200
+
+        victim = supervisor.alive_workers()[1]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if not _pid_alive(victim):
+                break
+            time.sleep(0.05)
+        # The dead process's last flush is still on disk — plant a
+        # recognizable stale document in its place.
+        stale_path = config.metrics_dir / "worker-1.json"
+        stale_path.write_text(
+            json.dumps({"worker": 1, "pid": -1, "written_at": 0.0, "metrics": {}})
+        )
+
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if supervisor.reap_and_respawn():
+                break
+            time.sleep(0.05)
+        # The supervisor pruned the stale snapshot before forking the
+        # replacement: whatever is on disk now came from the new pid.
+        if stale_path.exists():
+            assert json.loads(stale_path.read_text())["pid"] != -1
+        supervisor.wait_ready(timeout=30)
+
+        # Aggregated /metrics never mixes in the stale counters: the
+        # worker-1 series all come from the respawned process.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if stale_path.exists():
+                assert json.loads(stale_path.read_text())["pid"] != -1
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("respawned worker never flushed a fresh snapshot")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+class TestFleetObservatory:
+    def test_probe_detects_injected_generation_drift(
+        self, fleet_factory, small_dataset
+    ):
+        model_a = _fit_release(small_dataset, seed=0)
+        supervisor, model_id = fleet_factory(
+            2,
+            model=model_a,
+            probe_interval_seconds=0.25,
+            probe_sample_size=64,
+            probe_drift_threshold=1e-9,
+        )
+        config = supervisor.config
+
+        # The fit-owner worker's probe loop publishes its first cycle.
+        probes_path = config.observatory_dir / "probes.json"
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if probes_path.exists():
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("probe loop never published probes.json")
+
+        # Any worker serves the shared observatory files.
+        status, body, _ = _request(supervisor.port, "GET", "/debug/observatory")
+        assert status == 200
+        assert body["budget"]["epsilon_cap"] == 10.0
+
+        # Inject drift: hot-swap the model from outside the fleet, the
+        # way an operator-driven re-release would.
+        synthesizer = DPCopulaKendall(epsilon=2.0, rng=1)
+        synthesizer.fit(small_dataset)
+        ModelRegistry(config.models_dir).replace(
+            model_id, ReleasedModel.from_synthesizer(synthesizer)
+        )
+
+        events = []
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status, body, _ = _request(
+                supervisor.port, "GET", "/debug/observatory"
+            )
+            events = [
+                e
+                for e in body.get("drift_events", [])
+                if e["model_id"] == model_id
+            ]
+            if events:
+                break
+            time.sleep(0.2)
+        assert events, "generation swap was never reported as drift"
+        assert all(e["from_generation"] == 1 for e in events)
+        assert all(e["to_generation"] == 2 for e in events)
+
+        # The probe consumed zero ε: no fits ran, so the ledger that
+        # backs /budget shows no spend for the pre-registered model.
+        status, body, _ = _request(supervisor.port, "GET", "/budget")
+        assert status == 200
+        assert all(d["epsilon_spent"] == 0.0 for d in body["datasets"])

@@ -1,0 +1,105 @@
+"""Tests for cross-worker metrics snapshots and fleet-level exposition."""
+
+import json
+
+from repro.telemetry.aggregate import (
+    aggregate_snapshot,
+    prune_worker_snapshot,
+    read_worker_snapshots,
+    render_prometheus_multi,
+    worker_snapshot_path,
+    write_snapshot,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _registry_with_traffic(requests=3.0, route="sample"):
+    registry = MetricsRegistry()
+    counter = registry.counter("dpcopula_http_requests_total", "Requests")
+    counter.inc(requests, route=route)
+    return registry
+
+
+class TestSnapshotFiles:
+    def test_write_then_read_round_trip(self, tmp_path):
+        registry = _registry_with_traffic(5.0)
+        path = write_snapshot(registry, tmp_path, 3)
+        assert path == worker_snapshot_path(tmp_path, 3)
+        snapshots = read_worker_snapshots(tmp_path)
+        assert list(snapshots) == [3]
+        doc = snapshots[3]
+        assert doc["worker"] == 3
+        assert doc["pid"] > 0
+        series = doc["metrics"]["dpcopula_http_requests_total"]["series"]
+        assert series[0]["value"] == 5.0
+
+    def test_torn_and_foreign_files_are_skipped(self, tmp_path):
+        write_snapshot(_registry_with_traffic(), tmp_path, 0)
+        (tmp_path / "worker-1.json").write_text("{not json")
+        (tmp_path / "worker-x.json").write_text("{}")
+        snapshots = read_worker_snapshots(tmp_path)
+        assert list(snapshots) == [0]
+
+    def test_read_missing_directory_is_empty(self, tmp_path):
+        assert read_worker_snapshots(tmp_path / "missing") == {}
+
+    def test_prune_removes_stale_snapshot(self, tmp_path):
+        write_snapshot(_registry_with_traffic(), tmp_path, 2)
+        assert prune_worker_snapshot(tmp_path, 2) is True
+        assert not worker_snapshot_path(tmp_path, 2).exists()
+        # Second prune finds nothing: best-effort, not an error.
+        assert prune_worker_snapshot(tmp_path, 2) is False
+
+
+class TestFleetAggregation:
+    def test_worker_label_is_injected_per_series(self, tmp_path):
+        write_snapshot(_registry_with_traffic(1.0, route="fit"), tmp_path, 0)
+        write_snapshot(_registry_with_traffic(2.0, route="fit"), tmp_path, 1)
+        merged = aggregate_snapshot(read_worker_snapshots(tmp_path))
+        series = merged["dpcopula_http_requests_total"]["series"]
+        assert [s["labels"] for s in series] == [
+            {"route": "fit", "worker": "0"},
+            {"route": "fit", "worker": "1"},
+        ]
+        assert sorted(s["value"] for s in series) == [1.0, 2.0]
+
+    def test_render_merges_workers_into_one_exposition(self, tmp_path):
+        write_snapshot(_registry_with_traffic(1.0), tmp_path, 0)
+        write_snapshot(_registry_with_traffic(4.0), tmp_path, 1)
+        text = render_prometheus_multi(read_worker_snapshots(tmp_path))
+        assert "# TYPE dpcopula_http_requests_total counter" in text
+        assert (
+            'dpcopula_http_requests_total{route="sample",worker="0"} 1' in text
+        )
+        assert (
+            'dpcopula_http_requests_total{route="sample",worker="1"} 4' in text
+        )
+        assert text.endswith("\n")
+
+    def test_render_escapes_label_values(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", "Odd labels").inc(
+            1.0, route='quo"te\\slash\nline'
+        )
+        write_snapshot(registry, tmp_path, 0)
+        text = render_prometheus_multi(read_worker_snapshots(tmp_path))
+        assert 'route="quo\\"te\\\\slash\\nline"' in text
+
+    def test_render_histograms_with_worker_label(self, tmp_path):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "probe_seconds", "Probe latency", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        write_snapshot(registry, tmp_path, 4)
+        text = render_prometheus_multi(read_worker_snapshots(tmp_path))
+        assert 'probe_seconds_bucket{worker="4",le="0.1"} 1' in text
+        assert 'probe_seconds_bucket{worker="4",le="1"} 2' in text
+        assert 'probe_seconds_bucket{worker="4",le="+Inf"} 2' in text
+        assert 'probe_seconds_count{worker="4"} 2' in text
+
+    def test_snapshot_document_is_stable_json(self, tmp_path):
+        write_snapshot(_registry_with_traffic(), tmp_path, 0)
+        raw = worker_snapshot_path(tmp_path, 0).read_text()
+        assert raw == json.dumps(json.loads(raw), sort_keys=True)

@@ -1,0 +1,169 @@
+"""Tests for durable trace export: the sink hook and the JSONL ring."""
+
+import json
+
+import pytest
+
+from repro.telemetry import trace
+from repro.telemetry.export import TraceExporter, list_trace_files
+from repro.telemetry.logs import bind_context
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.tracing import Span
+
+
+@pytest.fixture
+def clean_sink():
+    """Never leak an export sink into (or out of) a test."""
+    before = trace.get_export_sink()
+    trace.set_export_sink(None)
+    yield
+    trace.set_export_sink(before)
+
+
+def _span(name="root", duration=0.5, payload=None) -> Span:
+    node = Span(name, {"payload": payload} if payload else None)
+    node.duration = duration
+    return node
+
+
+class TestExportSink:
+    def test_sink_receives_completed_top_level_roots(self, clean_sink):
+        seen = []
+        trace.set_export_sink(seen.append)
+        with trace.trace_root("outer") as root:
+            with trace.span("stage"):
+                pass
+        assert seen == [root]
+        assert seen[0].find("stage")
+
+    def test_nested_roots_attach_to_parent_not_sink(self, clean_sink):
+        seen = []
+        trace.set_export_sink(seen.append)
+        with trace.trace_root("outer") as outer:
+            with trace.trace_root("inner"):
+                pass
+        assert seen == [outer]
+        assert [child.name for child in outer.children] == ["inner"]
+
+    def test_sink_exceptions_never_break_traced_code(self, clean_sink):
+        def explode(root):
+            raise RuntimeError("sink blew up")
+
+        trace.set_export_sink(explode)
+        with trace.trace_root("survives") as root:
+            pass
+        assert root.duration is not None
+
+    def test_no_sink_means_no_overhead_hook(self, clean_sink):
+        assert trace.get_export_sink() is None
+        with trace.trace_root("plain") as root:
+            pass
+        assert root.duration is not None
+
+
+class TestTraceExporter:
+    def test_validates_ring_geometry(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            TraceExporter(tmp_path, max_bytes=16)
+        with pytest.raises(ValueError, match="max_files"):
+            TraceExporter(tmp_path, max_files=0)
+
+    def test_record_shape_and_trace_id_fallback(self, tmp_path):
+        exporter = TraceExporter(tmp_path, worker_label="7").install()
+        try:
+            exporter.export(_span("service.fit"))
+        finally:
+            exporter.uninstall()
+        (line,) = (tmp_path / "trace-7.jsonl").read_text().splitlines()
+        record = json.loads(line)
+        # No bound correlation ids: the root name is the trace id.
+        assert record["trace_id"] == "service.fit"
+        assert record["job_id"] is None
+        assert record["worker"] == "7"
+        assert record["duration"] == 0.5
+        assert record["slow"] is False
+        assert record["root"]["name"] == "service.fit"
+
+    def test_bound_request_id_is_the_trace_id(self, tmp_path):
+        exporter = TraceExporter(tmp_path)
+        with bind_context(request_id="req-1", job_id="job-9"):
+            exporter.export(_span())
+        record = json.loads(
+            (tmp_path / "trace-main.jsonl").read_text().splitlines()[0]
+        )
+        assert record["trace_id"] == "req-1"
+        assert record["job_id"] == "job-9"
+
+    def test_slow_flag_uses_threshold(self, tmp_path):
+        exporter = TraceExporter(tmp_path, slow_threshold=0.25)
+        exporter.export(_span(duration=0.1))
+        exporter.export(_span(duration=0.3))
+        lines = (tmp_path / "trace-main.jsonl").read_text().splitlines()
+        assert [json.loads(line)["slow"] for line in lines] == [False, True]
+
+    def test_ring_rotation_keeps_max_files(self, tmp_path):
+        exporter = TraceExporter(tmp_path, max_bytes=4096, max_files=2)
+        rotations = REGISTRY.get("dpcopula_trace_export_rotations_total")
+        before = rotations.value()
+        payload = "x" * 3000
+        for _ in range(4):
+            exporter.export(_span(payload=payload))
+        files = sorted(p.name for p in tmp_path.glob("trace-*.jsonl*"))
+        assert files == ["trace-main.jsonl", "trace-main.jsonl.1"]
+        assert rotations.value() == before + 3
+        # Every surviving file holds whole, parseable records.
+        for path in tmp_path.glob("trace-*.jsonl*"):
+            for line in path.read_text().splitlines():
+                assert json.loads(line)["root"]["attrs"]["payload"] == payload
+
+    def test_single_file_ring_truncates_in_place(self, tmp_path):
+        exporter = TraceExporter(tmp_path, max_bytes=4096, max_files=1)
+        payload = "y" * 3000
+        for _ in range(3):
+            exporter.export(_span(payload=payload))
+        files = list(tmp_path.glob("trace-*.jsonl*"))
+        assert [p.name for p in files] == ["trace-main.jsonl"]
+        assert files[0].stat().st_size <= 4096
+
+    def test_export_errors_are_swallowed_and_counted(self, tmp_path):
+        exporter = TraceExporter(tmp_path / "missing")
+        # Directory never created (install() not called): the append
+        # fails, the error is counted, and nothing raises.
+        errors = REGISTRY.get("dpcopula_trace_export_errors_total")
+        before = errors.value()
+        exporter.export(_span())
+        assert errors.value() == before + 1
+        assert exporter.exported == 0
+
+    def test_uninstall_only_removes_own_sink(self, tmp_path, clean_sink):
+        first = TraceExporter(tmp_path / "a").install()
+        second = TraceExporter(tmp_path / "b").install()
+        first.uninstall()  # not the active sink: must be a no-op
+        assert trace.get_export_sink() == second.export
+        second.uninstall()
+        assert trace.get_export_sink() is None
+
+    def test_end_to_end_through_trace_root(self, tmp_path, clean_sink):
+        exporter = TraceExporter(tmp_path).install()
+        exported = REGISTRY.get("dpcopula_traces_exported_total")
+        before = exported.value()
+        with bind_context(request_id="req-e2e"):
+            with trace.trace_root("http.request", route="sample"):
+                with trace.span("engine.sample"):
+                    pass
+        exporter.uninstall()
+        (line,) = (tmp_path / "trace-main.jsonl").read_text().splitlines()
+        record = json.loads(line)
+        assert record["trace_id"] == "req-e2e"
+        assert record["root"]["attrs"]["route"] == "sample"
+        assert record["root"]["children"][0]["name"] == "engine.sample"
+        assert exported.value() == before + 1
+
+    def test_inventory_lists_ring_files(self, tmp_path):
+        exporter = TraceExporter(tmp_path).install()
+        exporter.export(_span())
+        exporter.uninstall()
+        inventory = list_trace_files(tmp_path)
+        assert [entry["file"] for entry in inventory] == ["trace-main.jsonl"]
+        assert inventory[0]["bytes"] > 0
+        assert list_trace_files(tmp_path / "nope") == []

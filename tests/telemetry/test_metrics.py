@@ -169,3 +169,107 @@ class TestRegistry:
             "dpcopula_sample_seconds",
         ):
             assert REGISTRY.get(name) is not None, name
+
+
+class TestExemplars:
+    def test_exemplar_lands_in_matching_bucket(self):
+        histogram = Histogram("h_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05, exemplar="trace-fast")
+        histogram.observe(0.5, exemplar="trace-mid")
+        histogram.observe(5.0, exemplar="trace-slow")
+        (series,) = histogram.snapshot_series()
+        exemplars = series["exemplars"]
+        assert exemplars["0.1"]["trace_id"] == "trace-fast"
+        assert exemplars["1"]["trace_id"] == "trace-mid"
+        assert exemplars["+Inf"]["trace_id"] == "trace-slow"
+        assert exemplars["0.1"]["value"] == 0.05
+
+    def test_last_exemplar_per_bucket_wins(self):
+        histogram = Histogram("h_seconds", buckets=(1.0,))
+        histogram.observe(0.2, exemplar="first")
+        histogram.observe(0.3, exemplar="second")
+        (series,) = histogram.snapshot_series()
+        assert series["exemplars"]["1"]["trace_id"] == "second"
+
+    def test_observation_without_exemplar_keeps_counts_clean(self):
+        histogram = Histogram("h_seconds", buckets=(1.0,))
+        histogram.observe(0.2)
+        (series,) = histogram.snapshot_series()
+        assert "exemplars" not in series
+        assert series["count"] == 1
+
+    def test_exemplars_never_reach_text_exposition(self):
+        # The 0.0.4 text format predates exemplars; classic parsers
+        # would reject a line carrying one.
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h_seconds", "Latency", buckets=(1.0,)
+        )
+        histogram.observe(0.2, exemplar="trace-1")
+        text = registry.render_prometheus()
+        assert "trace-1" not in text
+        assert "exemplar" not in text
+        # ...but they are present in the JSON snapshot.
+        snapshot = registry.snapshot()
+        series = snapshot["h_seconds"]["series"][0]
+        assert series["exemplars"]["1"]["trace_id"] == "trace-1"
+
+
+class TestBucketMonotonicity:
+    def test_cumulative_counts_are_monotone_and_end_at_count(self):
+        histogram = Histogram("h_seconds", buckets=(0.01, 0.1, 1.0, 10.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        (series,) = histogram.snapshot_series()
+        cumulative = list(series["buckets"].values())
+        assert cumulative == sorted(cumulative)
+        assert list(series["buckets"])[-1] == "+Inf"
+        assert cumulative[-1] == series["count"] == 6
+
+
+class TestLatencyBucketConfig:
+    def test_parse_rejects_garbage(self):
+        from repro.telemetry.metrics import parse_latency_buckets
+
+        for bad in ("", "  ", "a,b", "0.1,oops", "0,1", "-1,2", "inf,1"):
+            with pytest.raises(ValueError):
+                parse_latency_buckets(bad)
+
+    def test_parse_sorts_and_dedupes(self):
+        from repro.telemetry.metrics import parse_latency_buckets
+
+        assert parse_latency_buckets("5, 0.5,5 ,0.05") == (0.05, 0.5, 5.0)
+
+    def test_configure_rebuckets_only_default_latency_histograms(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("latency_seconds", "Latency")
+        sizes = registry.histogram("fanout", "Fanout", buckets=(2.0, 8.0))
+        registry.configure_latency_buckets((0.5, 2.0))
+        assert latency.bounds == (0.5, 2.0)
+        assert sizes.bounds == (2.0, 8.0)
+        # Histograms created *after* configuration pick the override up.
+        late = registry.histogram("late_seconds", "Later latency")
+        assert late.bounds == (0.5, 2.0)
+
+    def test_configure_none_restores_builtin_spread(self):
+        from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS
+
+        registry = MetricsRegistry()
+        latency = registry.histogram("latency_seconds", "Latency")
+        registry.configure_latency_buckets((0.5,))
+        registry.configure_latency_buckets(None)
+        assert latency.bounds == tuple(DEFAULT_LATENCY_BUCKETS)
+
+    def test_rebucket_clears_recorded_series(self):
+        histogram = Histogram("h_seconds", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.rebucket((0.25, 2.5))
+        assert histogram.count() == 0
+        assert histogram.bounds == (0.25, 2.5)
+
+    def test_rebucket_rejects_empty_and_nan(self):
+        histogram = Histogram("h_seconds", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.rebucket(())
+        with pytest.raises(ValueError):
+            histogram.rebucket((float("nan"),))

@@ -151,6 +151,75 @@ def build_parser() -> argparse.ArgumentParser:
         "dataset-inspect endpoint)",
     )
 
+    evaluate = commands.add_parser(
+        "evaluate",
+        help="score DPCopula against baselines on a named scenario "
+        "(range queries, k-way marginals, ML utility — see "
+        "docs/EVALUATION.md)",
+    )
+    evaluate.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name (see --list); required unless --list is given",
+    )
+    evaluate.add_argument(
+        "--list",
+        action="store_true",
+        help="list the scenario catalog and exit",
+    )
+    evaluate.add_argument(
+        "--methods",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="comma-separated method registry names (default: "
+        "dpcopula-kendall,privelet,psd,fp,php)",
+    )
+    evaluate.add_argument(
+        "--epsilon", type=float, default=1.0, help="privacy budget (default 1.0)"
+    )
+    evaluate.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="scenario seed: fixes the generated data, splits and "
+        "workloads (default 0)",
+    )
+    evaluate.add_argument(
+        "--queries",
+        type=int,
+        default=60,
+        help="anchored range queries in the workload (default 60)",
+    )
+    evaluate.add_argument(
+        "--marginal-k",
+        type=int,
+        default=3,
+        help="evaluate all j-way marginals for j = 1..K (default 3)",
+    )
+    evaluate.add_argument(
+        "--max-marginals",
+        type=int,
+        default=20,
+        help="cap per marginal order, deterministic subsample beyond it "
+        "(default 20)",
+    )
+    evaluate.add_argument(
+        "--synthetic-records",
+        type=int,
+        default=None,
+        help="records to materialize from structure-releasing baselines "
+        "for the ML workload (default: the training-set size)",
+    )
+    evaluate.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the full JSON report to PATH",
+    )
+    evaluate.add_argument(
+        "--json", action="store_true", help="print the JSON report to stdout"
+    )
+
     serve = commands.add_parser(
         "serve", help="run the synthesis HTTP service (see docs/SERVICE.md)"
     )
@@ -521,6 +590,78 @@ def _inspect(args) -> int:
     return 0
 
 
+def _render_evaluation(result) -> None:
+    """Human-readable scorecard for one scenario run."""
+    print(
+        f"scenario {result.scenario!r} (ε={result.epsilon:g}, "
+        f"seed={result.seed}, n={result.n_records})"
+    )
+    header = (
+        f"{'METHOD':<18} {'RANGE RE':<10} {'TVD avg':<9} {'TVD worst':<10} "
+        f"{'ML Δacc':<9} {'ML Δauc':<9} FIT s"
+    )
+    print(header)
+    for evaluation in result.evaluations:
+        if evaluation.ml is not None:
+            worst = max(evaluation.ml.scores, key=lambda s: s.accuracy_delta)
+            delta_acc = f"{worst.accuracy_delta:+.4f}"
+            delta_auc = f"{worst.auc_delta:+.4f}"
+        else:
+            delta_acc = delta_auc = "-"
+        print(
+            f"{evaluation.method:<18} "
+            f"{evaluation.range_queries.mean_relative_error:<10.4f} "
+            f"{evaluation.marginals.avg_tvd:<9.4f} "
+            f"{evaluation.marginals.max_tvd:<10.4f} "
+            f"{delta_acc:<9} {delta_auc:<9} "
+            f"{evaluation.fit_seconds:.2f}"
+        )
+    for method, reason in sorted(result.skipped.items()):
+        print(f"{method:<18} skipped: {reason}")
+
+
+def _evaluate(args) -> int:
+    from repro.experiments.scenarios import list_scenarios, make_scenario, run_scenario
+
+    if args.list:
+        for name in list_scenarios():
+            scenario = make_scenario(name)
+            domain = "x".join(str(s) for s in scenario.domain_sizes)
+            print(
+                f"{name:<16} {domain:<22} target={scenario.target:<10} "
+                f"{scenario.description}"
+            )
+        return 0
+    if args.scenario is None:
+        print("error: --scenario is required (or use --list)", file=sys.stderr)
+        return 2
+    methods = args.methods.split(",") if args.methods else None
+    try:
+        result = run_scenario(
+            args.scenario,
+            methods=methods,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            n_queries=args.queries,
+            marginal_k=args.marginal_k,
+            max_marginals=args.max_marginals,
+            synthetic_records=args.synthetic_records,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    document = result.to_dict()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.output}")
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        _render_evaluation(result)
+    return 0
+
+
 def _serve(args) -> int:
     from repro.service import (
         ServiceConfig,
@@ -780,14 +921,18 @@ def _render_top(document) -> None:
             f"models, sample={probes.get('sample_size')}"
         )
         header = (
-            f"  {'MODEL':<18} {'GEN':<4} {'TVD(max)':<10} "
+            f"  {'MODEL':<18} {'GEN':<4} {'TVD(max)':<10} {'2WAY(max)':<10} "
             f"{'TAU ERR':<10} MISFIT"
         )
         print(header)
         for model in probes.get("models", []):
+            # Probe documents written before the k-way gauge existed
+            # lack the field; render a dash rather than failing.
+            kway = model.get("kway_tvd_max")
+            kway_text = f"{kway:<10.4f}" if kway is not None else f"{'-':<10}"
             print(
                 f"  {model['model_id']:<18} {model['generation']:<4} "
-                f"{model['margin_tvd_max']:<10.4f} "
+                f"{model['margin_tvd_max']:<10.4f} {kway_text}"
                 f"{model['tau_error']:<10.4f} {model['copula_misfit']:.4f}"
             )
 
@@ -894,6 +1039,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _synthesize(args)
     if args.command == "resample":
         return _resample(args)
+    if args.command == "evaluate":
+        return _evaluate(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "jobs":

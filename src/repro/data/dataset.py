@@ -11,7 +11,7 @@ copulas, queries) consumes this representation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,15 +45,32 @@ class Attribute:
 
 
 class Schema:
-    """An ordered collection of :class:`Attribute` objects."""
+    """An ordered collection of :class:`Attribute` objects.
 
-    def __init__(self, attributes: Iterable[Attribute]):
+    A schema may additionally designate one attribute as the **target**
+    column — the label the ML-utility workload predicts
+    (:mod:`repro.queries.ml_utility`).  The target is evaluation
+    metadata, not part of the data contract: two schemas with the same
+    attributes compare equal regardless of their targets, so a
+    synthesizer that rebuilds the schema without the annotation still
+    produces comparable datasets.
+    """
+
+    def __init__(
+        self, attributes: Iterable[Attribute], target: Optional[str] = None
+    ):
         self._attributes: Tuple[Attribute, ...] = tuple(attributes)
         if not self._attributes:
             raise ValueError("a schema needs at least one attribute")
         names = [a.name for a in self._attributes]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate attribute names in schema: {names}")
+        if target is not None and target not in names:
+            raise ValueError(
+                f"target {target!r} is not an attribute of this schema "
+                f"(attributes: {names})"
+            )
+        self._target = target
         self._domain_sizes_array = np.array(
             [a.domain_size for a in self._attributes], dtype=np.int64
         )
@@ -85,6 +102,30 @@ class Schema:
     def dimensions(self) -> int:
         return len(self._attributes)
 
+    @property
+    def target(self) -> Optional[str]:
+        """Name of the designated target attribute, or ``None``."""
+        return self._target
+
+    @property
+    def target_index(self) -> int:
+        """Position of the target attribute.
+
+        Raises ``ValueError`` when no target is designated — callers of
+        the ML-utility workload either pass an explicit target or use
+        :meth:`with_target` to annotate the schema first.
+        """
+        if self._target is None:
+            raise ValueError(
+                "schema has no target attribute; set one with "
+                "Schema.with_target(name) or pass target= explicitly"
+            )
+        return self.index_of(self._target)
+
+    def with_target(self, name: Optional[str]) -> "Schema":
+        """A copy of this schema with the target attribute set to ``name``."""
+        return Schema(self._attributes, target=name)
+
     def domain_space(self) -> float:
         """The paper's ``∏ |A_i|``: total number of histogram bins.
 
@@ -110,8 +151,13 @@ class Schema:
         return [i for i, a in enumerate(self._attributes) if not a.is_small_domain]
 
     def subset(self, indices: Sequence[int]) -> "Schema":
-        """Schema restricted to ``indices`` (in the given order)."""
-        return Schema(self._attributes[i] for i in indices)
+        """Schema restricted to ``indices`` (in the given order).
+
+        The target annotation survives when its attribute is kept.
+        """
+        kept = [self._attributes[i] for i in indices]
+        names = {a.name for a in kept}
+        return Schema(kept, target=self._target if self._target in names else None)
 
     def __len__(self) -> int:
         return len(self._attributes)
@@ -123,10 +169,14 @@ class Schema:
         return self._attributes[index]
 
     def __eq__(self, other: object) -> bool:
+        # Deliberately ignores the target annotation: the target marks a
+        # workload convention, not a difference in the data itself.
         return isinstance(other, Schema) and self._attributes == other._attributes
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{a.name}[{a.domain_size}]" for a in self._attributes)
+        if self._target is not None:
+            return f"Schema({parts}, target={self._target!r})"
         return f"Schema({parts})"
 
 

@@ -33,7 +33,13 @@ from repro.histograms.psd import PSDPublisher
 from repro.histograms.structurefirst import NoiseFirstPublisher, StructureFirstPublisher
 from repro.parallel import ExecutionContext, resolve_context, spawn_seed_sequences
 from repro.queries.evaluation import QueryEvaluation, evaluate_workload, true_answers
+from repro.queries.ml_utility import MLUtilityReport, ml_utility
 from repro.queries.range_query import RangeQuery
+from repro.queries.workloads import (
+    KWayMarginal,
+    MarginalEvaluation,
+    evaluate_marginals,
+)
 from repro.utils import RngLike, as_generator
 
 # Dense-grid methods refuse domains beyond this many cells — the same
@@ -288,6 +294,176 @@ def make_method(name: str, **kwargs) -> Method:
             f"unknown method {name!r}; available: {sorted(_METHODS)}"
         ) from None
     return factory(**kwargs)
+
+
+def _sample_dense_histogram(
+    histogram, schema, n_records: int, rng: np.random.Generator
+) -> Dataset:
+    """Draw records from a dense noisy grid's clipped, normalized cells."""
+    counts = np.clip(np.asarray(histogram.counts, dtype=float), 0.0, None).ravel()
+    total = counts.sum()
+    if total <= 0:
+        probabilities = np.full(counts.size, 1.0 / counts.size)
+    else:
+        probabilities = counts / total
+    flat = rng.choice(counts.size, size=n_records, p=probabilities)
+    values = np.column_stack(np.unravel_index(flat, histogram.shape))
+    return Dataset(values, schema)
+
+
+def _sample_from_answerer(
+    answerer: RangeQueryAnswerer,
+    schema,
+    n_records: int,
+    rng: np.random.Generator,
+) -> Dataset:
+    """Draw records from any range-query answerer by recursive bisection.
+
+    Starting from the full domain, the widest axis is split at its
+    midpoint, the two halves are queried, and the records are allocated
+    binomially in proportion to the (clipped) noisy counts — the same
+    multinomial-by-splitting trick hierarchical samplers use.  When both
+    halves answer ≤ 0 the split falls back to cell volume, so the
+    sampler degrades toward uniform rather than failing on regions the
+    structure zeroed out.
+    """
+    m = schema.dimensions
+    values = np.empty((n_records, m), dtype=np.int64)
+
+    def recurse(ranges, n, offset):
+        if n == 0:
+            return
+        widths = [hi - lo + 1 for lo, hi in ranges]
+        axis = int(np.argmax(widths))
+        if widths[axis] == 1:
+            values[offset : offset + n] = [lo for lo, _ in ranges]
+            return
+        lo, hi = ranges[axis]
+        mid = lo + widths[axis] // 2
+        left = list(ranges)
+        left[axis] = (lo, mid - 1)
+        right = list(ranges)
+        right[axis] = (mid, hi)
+        count_left = max(float(answerer.range_count(left)), 0.0)
+        count_right = max(float(answerer.range_count(right)), 0.0)
+        if count_left + count_right <= 0.0:
+            # Volume fallback: the structure thinks this region is empty.
+            count_left = float(mid - lo)
+            count_right = float(hi - mid + 1)
+        n_left = int(rng.binomial(n, count_left / (count_left + count_right)))
+        recurse(left, n_left, offset)
+        recurse(right, n - n_left, offset + n_left)
+
+    full = [(0, attribute.domain_size - 1) for attribute in schema]
+    recurse(full, n_records, 0)
+    return Dataset(values, schema)
+
+
+def source_as_dataset(
+    source,
+    schema,
+    n_records: int,
+    rng: RngLike = None,
+) -> Dataset:
+    """Materialize any answer source as synthetic records.
+
+    DPCopula variants already release records, so a ``Dataset`` passes
+    through untouched.  Histogram baselines release structures; to put
+    them on the ML train-on-synthetic workload, a dense grid is sampled
+    cell-wise and a generic answerer is sampled by recursive bisection
+    (:func:`_sample_from_answerer`).  Sampling is privacy-free
+    post-processing of the released structure.
+    """
+    if isinstance(source, Dataset):
+        return source
+    gen = as_generator(rng)
+    if hasattr(source, "counts") and hasattr(source, "shape"):
+        return _sample_dense_histogram(source, schema, n_records, gen)
+    if isinstance(source, RangeQueryAnswerer):
+        return _sample_from_answerer(source, schema, n_records, gen)
+    raise TypeError(
+        f"cannot materialize {type(source).__name__} as a dataset; expected "
+        "a Dataset, a dense histogram, or a RangeQueryAnswerer"
+    )
+
+
+@dataclass(frozen=True)
+class UtilityEvaluation:
+    """One method's scores on all three workload families.
+
+    ``ml`` is ``None`` when the schema designates no target (the ML
+    workload needs a label to predict).
+    """
+
+    method: str
+    range_queries: QueryEvaluation
+    marginals: MarginalEvaluation
+    ml: Optional[MLUtilityReport]
+    fit_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "fit_seconds": self.fit_seconds,
+            "range_queries": {
+                "mean_relative_error": self.range_queries.mean_relative_error,
+                "median_relative_error": self.range_queries.median_relative_error,
+                "mean_absolute_error": self.range_queries.mean_absolute_error,
+                "max_relative_error": self.range_queries.max_relative_error,
+                "n_queries": self.range_queries.n_queries,
+            },
+            "marginals": self.marginals.to_dict(),
+            "ml": self.ml.to_dict() if self.ml is not None else None,
+        }
+
+
+def utility_evaluation(
+    method: Method,
+    train: Dataset,
+    test: Dataset,
+    range_workload: Sequence[RangeQuery],
+    marginals: Sequence[KWayMarginal],
+    epsilon: float,
+    rng: RngLike = None,
+    sanity_bound: float = 1.0,
+    synthetic_records: Optional[int] = None,
+) -> UtilityEvaluation:
+    """Fit once, score on range queries, k-way marginals and ML utility.
+
+    The method fits on ``train`` only; ``test`` is the held-out real
+    data the ML workload tests on (range and marginal workloads compare
+    against ``train``, the data the method actually saw).  The ML leg
+    materializes the fitted source as ``synthetic_records`` records
+    (default: ``train.n_records``) via :func:`source_as_dataset`.
+    """
+    gen = as_generator(rng)
+    start = time.perf_counter()
+    source = method.fit(train, epsilon, rng=gen)
+    fit_seconds = time.perf_counter() - start
+    range_scores = evaluate_workload(source, range_workload, train, sanity_bound)
+    marginal_scores = evaluate_marginals(source, marginals, train)
+    ml_report = None
+    if train.schema.target is not None:
+        synthetic = source_as_dataset(
+            source,
+            train.schema,
+            synthetic_records or train.n_records,
+            rng=gen,
+        )
+        # The materialized schema may lack the target annotation
+        # (synthesizers rebuild schemas); re-attach the convention.
+        if synthetic.schema.target is None:
+            synthetic = Dataset(
+                synthetic.values, synthetic.schema.with_target(train.schema.target)
+            )
+        ml_report = ml_utility(train, test, synthetic, target=train.schema.target)
+    return UtilityEvaluation(
+        method=method.name,
+        range_queries=range_scores,
+        marginals=marginal_scores,
+        ml=ml_report,
+        fit_seconds=fit_seconds,
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,323 @@
+"""Named evaluation scenarios: mixed-type generators + the full workload.
+
+The paper evaluates on two census extracts and parametric synthetic
+data; this module packages **folktables-style scenarios** — named,
+reproducible mixed-margin generators with a designated prediction
+target — so ``dpcopula evaluate`` and the utility bench can score
+DPCopula against the in-repo baselines on a fixed matrix of data
+shapes.  Each scenario is deterministic in its seed: the same
+``(scenario, seed)`` pair always yields the same records, splits and
+workloads.
+
+Scenario catalog (domains sized so the dense-grid baselines stay under
+:data:`~repro.experiments.runner.MAX_DENSE_CELLS`):
+
+========================  ======================================================
+``acs-income``            ACS-like income table: age, workclass, education,
+                          hours-per-week, sex → binary income bracket.
+``acs-employment``        ACS-like employment table: age, education, sex,
+                          relationship, disability → employed.
+``credit-default``        Credit-bureau shape: skewed balance and bill amounts,
+                          payment delay → default flag.
+``zipf-mixed``            Stress shape: one heavy Zipf axis, one Gaussian, one
+                          small uniform → binary label.
+``smoke-mixed``           Tiny CI scenario (≈2.5k cells) for e2e smokes.
+========================  ======================================================
+
+:func:`run_scenario` is the one-call entry point: generate, split,
+build the range + k-way-marginal + ML workloads, and score every
+requested method via
+:func:`~repro.experiments.runner.utility_evaluation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Attribute, Dataset, Schema
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gaussian_dependence_data,
+    random_correlation_matrix,
+)
+from repro.experiments.runner import (
+    UtilityEvaluation,
+    make_method,
+    utility_evaluation,
+)
+from repro.queries.ml_utility import train_test_split
+from repro.queries.range_query import anchored_workload
+from repro.queries.workloads import all_kway
+from repro.utils import check_positive
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "list_scenarios",
+    "make_scenario",
+    "run_scenario",
+]
+
+#: Methods every scenario is scored on unless the caller overrides.
+DEFAULT_METHODS = ("dpcopula-kendall", "privelet", "psd", "fp", "php")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible mixed-margin generator with a prediction target."""
+
+    name: str
+    description: str
+    attribute_names: Tuple[str, ...]
+    domain_sizes: Tuple[int, ...]
+    margins: Tuple[str, ...]
+    target: str
+    n_records: int
+    correlation_strength: float = 0.6
+    zipf_exponent: float = 1.4
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.attribute_names)
+            == len(self.domain_sizes)
+            == len(self.margins)
+        ):
+            raise ValueError(
+                f"scenario {self.name!r}: names, domains and margins must align"
+            )
+        if self.target not in self.attribute_names:
+            raise ValueError(
+                f"scenario {self.name!r}: target {self.target!r} is not an "
+                "attribute"
+            )
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.domain_sizes)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            (
+                Attribute(name, size)
+                for name, size in zip(self.attribute_names, self.domain_sizes)
+            ),
+            target=self.target,
+        )
+
+    def generate(self, seed: int = 0) -> Dataset:
+        """The scenario's dataset for one seed (bitwise reproducible).
+
+        The latent correlation matrix is drawn from the seed too, so
+        different seeds give genuinely different dependence structures
+        while the margins and schema stay fixed.
+        """
+        rng = np.random.default_rng(seed)
+        correlation = random_correlation_matrix(
+            self.dimensions, rng, strength=self.correlation_strength
+        )
+        spec = SyntheticSpec(
+            n_records=self.n_records,
+            domain_sizes=self.domain_sizes,
+            margins=list(self.margins),
+            correlation=correlation,
+            zipf_exponent=self.zipf_exponent,
+        )
+        data = gaussian_dependence_data(spec, rng)
+        return Dataset(data.values, self.schema)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="acs-income",
+            description="ACS-like income table (predict income bracket)",
+            attribute_names=(
+                "age",
+                "workclass",
+                "education",
+                "hours",
+                "sex",
+                "income",
+            ),
+            domain_sizes=(74, 8, 24, 99, 2, 2),
+            margins=(
+                "gaussian",
+                "zipf",
+                "zipf",
+                "gaussian",
+                "uniform",
+                "uniform",
+            ),
+            target="income",
+            n_records=6_000,
+        ),
+        Scenario(
+            name="acs-employment",
+            description="ACS-like employment table (predict employed)",
+            attribute_names=(
+                "age",
+                "education",
+                "sex",
+                "relationship",
+                "disability",
+                "employed",
+            ),
+            domain_sizes=(74, 24, 2, 9, 2, 2),
+            margins=(
+                "gaussian",
+                "zipf",
+                "uniform",
+                "zipf",
+                "uniform",
+                "uniform",
+            ),
+            target="employed",
+            n_records=6_000,
+        ),
+        Scenario(
+            name="credit-default",
+            description="Credit-bureau shape (predict default flag)",
+            attribute_names=("limit", "bill", "pay_delay", "default"),
+            domain_sizes=(200, 150, 12, 2),
+            margins=("zipf", "zipf", "gaussian", "uniform"),
+            target="default",
+            n_records=5_000,
+            zipf_exponent=1.3,
+        ),
+        Scenario(
+            name="zipf-mixed",
+            description="Heavy-tail stress shape (predict binary label)",
+            attribute_names=("heavy", "smooth", "group", "label"),
+            domain_sizes=(300, 100, 10, 2),
+            margins=("zipf", "gaussian", "uniform", "uniform"),
+            target="label",
+            n_records=5_000,
+            correlation_strength=0.7,
+        ),
+        Scenario(
+            name="smoke-mixed",
+            description="Tiny CI scenario (fast end-to-end smoke)",
+            attribute_names=("x", "y", "group", "flag"),
+            domain_sizes=(20, 16, 4, 2),
+            margins=("gaussian", "zipf", "uniform", "uniform"),
+            target="flag",
+            n_records=1_200,
+        ),
+    )
+}
+
+
+def list_scenarios() -> List[str]:
+    """Catalog names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def make_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {list_scenarios()}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All methods' utility scores on one (scenario, ε, seed) cell.
+
+    ``skipped`` maps method names to the reason they could not run on
+    this scenario (e.g. a dense-grid method over the cell limit).
+    """
+
+    scenario: str
+    epsilon: float
+    seed: int
+    n_records: int
+    evaluations: Tuple[UtilityEvaluation, ...]
+    skipped: Dict[str, str]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+            "n_records": self.n_records,
+            "methods": [evaluation.to_dict() for evaluation in self.evaluations],
+            "skipped": dict(self.skipped),
+        }
+
+
+def run_scenario(
+    name: str,
+    methods: Optional[Sequence[str]] = None,
+    epsilon: float = 1.0,
+    seed: int = 0,
+    n_queries: int = 60,
+    marginal_k: int = 3,
+    bins: int = 6,
+    max_marginals: int = 20,
+    test_fraction: float = 0.25,
+    synthetic_records: Optional[int] = None,
+) -> ScenarioResult:
+    """Generate a scenario and score each method on the full workload.
+
+    Workloads are built once (anchored range queries so true answers
+    stay informative; every ≤ ``marginal_k``-way marginal capped at
+    ``max_marginals`` per order) and shared across methods, so the
+    comparison is paired.  Methods whose :meth:`Method.supports` rejects
+    the scenario are recorded under ``skipped`` instead of raising.
+    """
+    check_positive("epsilon", epsilon)
+    scenario = make_scenario(name)
+    data = scenario.generate(seed)
+    train, test = train_test_split(data, test_fraction, rng=seed)
+
+    workload_rng = np.random.default_rng((seed, 1))
+    range_workload = anchored_workload(train, n_queries, workload_rng)
+    marginals = []
+    for k in range(1, min(marginal_k, scenario.dimensions) + 1):
+        marginals.extend(
+            all_kway(
+                train.schema,
+                k,
+                bins=bins,
+                max_marginals=max_marginals,
+                rng=np.random.default_rng((seed, 2, k)),
+            )
+        )
+
+    evaluations = []
+    skipped: Dict[str, str] = {}
+    for index, method_name in enumerate(methods or DEFAULT_METHODS):
+        method = make_method(method_name)
+        if not method.supports(train):
+            skipped[method_name] = "unsupported domain for this method"
+            continue
+        evaluations.append(
+            utility_evaluation(
+                method,
+                train,
+                test,
+                range_workload,
+                marginals,
+                epsilon,
+                rng=np.random.default_rng((seed, 3, index)),
+                synthetic_records=synthetic_records,
+            )
+        )
+    return ScenarioResult(
+        scenario=scenario.name,
+        epsilon=epsilon,
+        seed=seed,
+        n_records=data.n_records,
+        evaluations=tuple(evaluations),
+        skipped=skipped,
+    )

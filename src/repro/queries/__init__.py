@@ -9,10 +9,27 @@ from repro.queries.range_query import (
 from repro.queries.evaluation import (
     QueryEvaluation,
     absolute_error,
+    as_answer_function,
     dataset_answerer,
     evaluate_workload,
     relative_error,
     true_answers,
+)
+from repro.queries.workloads import (
+    KWayMarginal,
+    MarginalEvaluation,
+    all_kway,
+    coarse_edges,
+    evaluate_marginals,
+    gaussian_copula_pair_probabilities,
+    kway_marginal,
+    marginal_probabilities,
+)
+from repro.queries.ml_utility import (
+    MLUtilityReport,
+    ModelScore,
+    ml_utility,
+    train_test_split,
 )
 from repro.queries.metrics import (
     UtilityReport,
@@ -32,9 +49,22 @@ __all__ = [
     "relative_error",
     "absolute_error",
     "true_answers",
+    "as_answer_function",
     "dataset_answerer",
     "evaluate_workload",
     "QueryEvaluation",
+    "KWayMarginal",
+    "MarginalEvaluation",
+    "all_kway",
+    "coarse_edges",
+    "evaluate_marginals",
+    "gaussian_copula_pair_probabilities",
+    "kway_marginal",
+    "marginal_probabilities",
+    "MLUtilityReport",
+    "ModelScore",
+    "ml_utility",
+    "train_test_split",
     "UtilityReport",
     "utility_report",
     "margin_tvd",

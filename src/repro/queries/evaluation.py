@@ -5,8 +5,33 @@ Relative error with a sanity bound ``s``::
     RE(q) = |A_noisy(q) − A_act(q)| / max(A_act(q), s)
 
 and plain absolute error, plus a workload evaluator that works uniformly
-over synthetic datasets (counting rows) and sanitized histogram
-structures (their ``range_count``).
+over every answer source: synthetic datasets (counting rows), sanitized
+histogram structures (their ``range_count``, with out-of-domain ranges
+clipped by the answerer), and bare callables.  The uniform contract is
+that :func:`evaluate_workload` produces the same error summary whether
+a method releases records or a noisy structure — both source kinds are
+funnelled through :func:`as_answer_function` into one
+``RangeQuery -> float`` shape before any metric is computed.
+
+A synthetic dataset that reproduces the original exactly scores zero,
+and so does a dense histogram holding the exact counts:
+
+>>> import numpy as np
+>>> from repro.data.dataset import Dataset, Schema
+>>> from repro.histograms.base import DenseNoisyHistogram
+>>> from repro.queries.range_query import RangeQuery
+>>> schema = Schema.from_domain_sizes([4, 3])
+>>> original = Dataset(np.array([[0, 0], [1, 2], [3, 1], [3, 1]]), schema)
+>>> workload = [RangeQuery(((0, 3), (0, 2))), RangeQuery(((2, 3), (1, 1)))]
+>>> evaluate_workload(original, workload, original).mean_relative_error
+0.0
+>>> counts = np.zeros((4, 3))
+>>> np.add.at(counts, (original.column(0), original.column(1)), 1.0)
+>>> histogram = DenseNoisyHistogram(counts)  # answerer source, same result
+>>> evaluate_workload(histogram, workload, original).mean_relative_error
+0.0
+>>> evaluate_workload(histogram, workload, original).n_queries
+2
 """
 
 from __future__ import annotations
@@ -53,7 +78,13 @@ def dataset_answerer(dataset: Dataset) -> Callable[[RangeQuery], float]:
     return answer
 
 
-def _as_answer_function(source: AnswerSource) -> Callable[[RangeQuery], float]:
+def as_answer_function(source: AnswerSource) -> Callable[[RangeQuery], float]:
+    """Normalize any answer source into a ``RangeQuery -> float`` callable.
+
+    This is the single funnel behind the evaluator's uniform-handling
+    promise; the k-way marginal workload reuses it so datasets and
+    sanitized structures stay interchangeable there too.
+    """
     if isinstance(source, Dataset):
         return dataset_answerer(source)
     if isinstance(source, RangeQueryAnswerer):
@@ -106,6 +137,10 @@ def evaluate_workload(
         The paper's ``s`` (1 by default; 0.05% of cardinality for the US
         dataset; 10 for the Brazil dataset).
     """
+    if not len(workload):
+        # An empty workload has no error distribution; summarizing it
+        # would silently return NaNs (np.mean of nothing).
+        raise ValueError("cannot evaluate an empty workload")
     if isinstance(actual, Dataset):
         actual_values = true_answers(actual, workload)
     else:
@@ -114,7 +149,7 @@ def evaluate_workload(
         raise ValueError(
             f"{actual_values.size} true answers for {len(workload)} queries"
         )
-    answer = _as_answer_function(source)
+    answer = as_answer_function(source)
     noisy_values = np.array([answer(query) for query in workload], dtype=float)
 
     relative = np.abs(noisy_values - actual_values) / np.maximum(

@@ -1,0 +1,280 @@
+"""Train-on-synthetic / test-on-real ML utility harness.
+
+The standard end-to-end test of a DP synthesizer: train a classifier on
+the synthetic records, test it on held-out *real* records, and compare
+against the same model trained on real data.  A good synthesizer loses
+little accuracy; the gap (the **delta**) is the utility metric.
+
+Everything here is stdlib + numpy and fully deterministic — no random
+state is consumed anywhere in this module, so the same inputs always
+produce bitwise-identical metrics (the determinism test relies on
+this).  Randomness enters only through :func:`train_test_split`, which
+takes an explicit seed.
+
+Models (both intentionally simple — the workload measures the *data*,
+not the model):
+
+* ``"logistic"`` — full-batch gradient-descent logistic regression over
+  one-hot encoded features, zero-initialized, fixed epoch count;
+* ``"stump"`` — a one-feature decision stump chosen by training error,
+  scored by the per-side positive rate (so it has a usable AUC).
+
+The target column follows the :class:`~repro.data.dataset.Schema`
+convention: pass ``target=`` explicitly or annotate the schema with
+``Schema.with_target(name)`` first.  Non-binary targets are binarized
+at the domain midpoint (label 1 iff ``value ≥ domain_size / 2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.queries.workloads import coarse_edges
+from repro.utils import RngLike, as_generator, check_probability
+
+__all__ = [
+    "MLUtilityReport",
+    "ModelScore",
+    "ml_utility",
+    "train_test_split",
+]
+
+#: Feature bucket bound: attributes with larger domains are coarsened
+#: before one-hot encoding so the design matrix stays small.
+_FEATURE_BINS = 16
+
+_LOGISTIC_EPOCHS = 200
+_LOGISTIC_LEARNING_RATE = 0.5
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.25, rng: RngLike = 0
+) -> Tuple[Dataset, Dataset]:
+    """Deterministic shuffle-split into (train, test) datasets."""
+    check_probability("test_fraction", test_fraction)
+    n = dataset.n_records
+    n_test = int(round(n * test_fraction))
+    if n_test == 0 or n_test == n:
+        raise ValueError(
+            f"test_fraction={test_fraction} leaves an empty split for {n} records"
+        )
+    order = as_generator(rng).permutation(n)
+    test = Dataset(dataset.values[order[:n_test]], dataset.schema)
+    train = Dataset(dataset.values[order[n_test:]], dataset.schema)
+    return train, test
+
+
+def _resolve_target(dataset: Dataset, target: Optional[str]) -> int:
+    if target is not None:
+        return dataset.schema.index_of(target)
+    return dataset.schema.target_index
+
+
+def _labels(dataset: Dataset, target_index: int) -> np.ndarray:
+    """Binary labels: 1 iff the target value is in the domain's top half."""
+    domain = dataset.schema[target_index].domain_size
+    return (2 * dataset.column(target_index) >= domain).astype(float)
+
+
+def _features(dataset: Dataset, target_index: int) -> np.ndarray:
+    """One-hot design matrix over bucketized non-target attributes."""
+    blocks = []
+    for j, attribute in enumerate(dataset.schema):
+        if j == target_index:
+            continue
+        edges = np.asarray(coarse_edges(attribute.domain_size, _FEATURE_BINS))
+        buckets = np.searchsorted(edges, dataset.column(j), side="right") - 1
+        block = np.zeros((dataset.n_records, len(edges) - 1))
+        block[np.arange(dataset.n_records), buckets] = 1.0
+        blocks.append(block)
+    return np.hstack(blocks)
+
+
+def _fit_logistic(features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Full-batch GD logistic regression; returns weights (bias last)."""
+    x = np.hstack([features, np.ones((features.shape[0], 1))])
+    weights = np.zeros(x.shape[1])
+    n = x.shape[0]
+    for _ in range(_LOGISTIC_EPOCHS):
+        scores = np.clip(x @ weights, -30.0, 30.0)
+        probabilities = 1.0 / (1.0 + np.exp(-scores))
+        gradient = x.T @ (probabilities - labels) / n
+        weights -= _LOGISTIC_LEARNING_RATE * gradient
+    return weights
+
+
+def _score_logistic(weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+    x = np.hstack([features, np.ones((features.shape[0], 1))])
+    return 1.0 / (1.0 + np.exp(-np.clip(x @ weights, -30.0, 30.0)))
+
+
+def _fit_stump(features: np.ndarray, labels: np.ndarray) -> Tuple[int, float, float]:
+    """Best single binary feature; returns (index, p(y=1|on), p(y=1|off)).
+
+    Ties in training error break toward the lowest feature index, so the
+    fit is deterministic regardless of dict/iteration order.
+    """
+    n = max(features.shape[0], 1)
+    on_counts = features.sum(axis=0)
+    on_positive = features.T @ labels
+    off_counts = n - on_counts
+    off_positive = labels.sum() - on_positive
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p_on = np.where(on_counts > 0, on_positive / on_counts, labels.mean())
+        p_off = np.where(off_counts > 0, off_positive / off_counts, labels.mean())
+    # Training error when predicting the majority class on each side.
+    errors = (
+        np.minimum(on_positive, on_counts - on_positive)
+        + np.minimum(off_positive, off_counts - off_positive)
+    ) / n
+    best = int(np.argmin(errors))
+    return best, float(p_on[best]), float(p_off[best])
+
+
+def _score_stump(
+    stump: Tuple[int, float, float], features: np.ndarray
+) -> np.ndarray:
+    index, p_on, p_off = stump
+    return np.where(features[:, index] > 0.5, p_on, p_off)
+
+
+def _auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Rank-based (Mann-Whitney) AUC with average-rank tie handling."""
+    positives = labels > 0.5
+    n_pos = int(positives.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(scores.size, dtype=float)
+    ranks[order] = np.arange(1, scores.size + 1, dtype=float)
+    # Average ranks across ties so the AUC is permutation-invariant.
+    sorted_scores = scores[order]
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0) + 1
+    for start, stop in zip(
+        np.concatenate([[0], boundaries]),
+        np.concatenate([boundaries, [scores.size]]),
+    ):
+        ranks[order[start:stop]] = 0.5 * (start + 1 + stop)
+    rank_sum = ranks[positives].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def _accuracy(scores: np.ndarray, labels: np.ndarray) -> float:
+    return float(((scores >= 0.5).astype(float) == labels).mean())
+
+
+@dataclass(frozen=True)
+class ModelScore:
+    """One model's real-vs-synthetic comparison on the real test set."""
+
+    model: str
+    real_accuracy: float
+    synthetic_accuracy: float
+    real_auc: float
+    synthetic_auc: float
+
+    @property
+    def accuracy_delta(self) -> float:
+        """Accuracy lost by training on synthetic instead of real data."""
+        return self.real_accuracy - self.synthetic_accuracy
+
+    @property
+    def auc_delta(self) -> float:
+        return self.real_auc - self.synthetic_auc
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model,
+            "real_accuracy": self.real_accuracy,
+            "synthetic_accuracy": self.synthetic_accuracy,
+            "accuracy_delta": self.accuracy_delta,
+            "real_auc": self.real_auc,
+            "synthetic_auc": self.synthetic_auc,
+            "auc_delta": self.auc_delta,
+        }
+
+
+@dataclass(frozen=True)
+class MLUtilityReport:
+    """All models' scores plus the workload's configuration."""
+
+    target: str
+    scores: Tuple[ModelScore, ...]
+
+    @property
+    def worst_accuracy_delta(self) -> float:
+        return max(score.accuracy_delta for score in self.scores)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "worst_accuracy_delta": self.worst_accuracy_delta,
+            "models": [score.to_dict() for score in self.scores],
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{s.model}: Δacc={s.accuracy_delta:+.4f} Δauc={s.auc_delta:+.4f}"
+            for s in self.scores
+        )
+        return f"ML utility on {self.target!r}: {parts}"
+
+
+_MODELS = {
+    "logistic": (_fit_logistic, _score_logistic),
+    "stump": (_fit_stump, _score_stump),
+}
+
+
+def ml_utility(
+    real_train: Dataset,
+    real_test: Dataset,
+    synthetic: Dataset,
+    target: Optional[str] = None,
+    models: Sequence[str] = ("logistic", "stump"),
+) -> MLUtilityReport:
+    """Train-on-synthetic/test-on-real comparison for each model.
+
+    All three datasets must share the schema (the synthesizer's output
+    schema compares equal to the original's by construction).  The
+    target comes from ``target=`` or the schema annotation; see
+    :meth:`repro.data.dataset.Schema.with_target`.
+    """
+    for name, dataset in (("real_test", real_test), ("synthetic", synthetic)):
+        if dataset.schema != real_train.schema:
+            raise ValueError(f"{name} schema differs from real_train schema")
+        if dataset.n_records == 0:
+            raise ValueError(f"{name} dataset is empty")
+    if real_train.n_records == 0:
+        raise ValueError("real_train dataset is empty")
+    target_index = _resolve_target(real_train, target)
+    target_name = real_train.schema[target_index].name
+
+    test_features = _features(real_test, target_index)
+    test_labels = _labels(real_test, target_index)
+    scores = []
+    for model in models:
+        if model not in _MODELS:
+            raise ValueError(
+                f"unknown model {model!r}; choose from {sorted(_MODELS)}"
+            )
+        fit, score = _MODELS[model]
+        predictions = {}
+        for kind, train in (("real", real_train), ("synthetic", synthetic)):
+            fitted = fit(_features(train, target_index), _labels(train, target_index))
+            predictions[kind] = score(fitted, test_features)
+        scores.append(
+            ModelScore(
+                model=model,
+                real_accuracy=_accuracy(predictions["real"], test_labels),
+                synthetic_accuracy=_accuracy(predictions["synthetic"], test_labels),
+                real_auc=_auc(predictions["real"], test_labels),
+                synthetic_auc=_auc(predictions["synthetic"], test_labels),
+            )
+        )
+    return MLUtilityReport(target=target_name, scores=tuple(scores))

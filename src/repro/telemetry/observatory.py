@@ -45,6 +45,10 @@ from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.queries.workloads import (
+    coarse_edges,
+    gaussian_copula_pair_probabilities,
+)
 from repro.stats.ecdf import HistogramCDF
 from repro.stats.goodness_of_fit import copula_probe_statistic
 from repro.stats.kendall import kendall_tau_matrix
@@ -68,6 +72,12 @@ _PROBE_MARGIN_TVD = REGISTRY.gauge(
 _PROBE_MARGIN_TVD_MAX = REGISTRY.gauge(
     "dpcopula_probe_margin_tvd_max",
     "Worst per-column probe TVD per model (labels: model, generation)",
+)
+_PROBE_KWAY_TVD_MAX = REGISTRY.gauge(
+    "dpcopula_probe_kway_tvd_max",
+    "Worst two-way marginal TVD between the probe sample and the "
+    "copula-implied pair distribution, over the strongest-|ρ| pairs "
+    "(labels: model, generation)",
 )
 _PROBE_TAU_ERROR = REGISTRY.gauge(
     "dpcopula_probe_tau_error",
@@ -97,6 +107,14 @@ _PROBE_DRIFT_EVENTS = REGISTRY.counter(
 
 #: Drift-event log is bounded: when it exceeds this, it rotates once.
 _DRIFT_LOG_MAX_BYTES = 1024 * 1024
+
+#: The k-way gauge scores at most this many attribute pairs per model,
+#: ranked by |ρ| — the strongest dependencies are where sampler bugs
+#: (wrong Cholesky, stale plan) show up first.
+_PROBE_MAX_PAIRS = 6
+
+#: Bucket bound for the probe's two-way marginal tables.
+_PROBE_KWAY_BINS = 8
 
 
 # ---------------------------------------------------------------------------
@@ -307,6 +325,7 @@ class UtilityProbe:
         for gauge in (
             _PROBE_MARGIN_TVD,
             _PROBE_MARGIN_TVD_MAX,
+            _PROBE_KWAY_TVD_MAX,
             _PROBE_TAU_ERROR,
             _PROBE_COPULA_MISFIT,
         ):
@@ -379,6 +398,38 @@ class UtilityProbe:
                 np.abs(tau_empirical - tau_expected)[off_diagonal].max()
             )
 
+        # k-way gauge: the sample's two-way marginals versus the pair
+        # distributions the released copula *implies* (margins + Φ₂ at
+        # the repaired ρ).  Both sides derive from released statistics
+        # only, so this stays zero-ε; a healthy sampler sits at the
+        # sampling-noise floor, a wrong Cholesky or stale plan does not.
+        kway_tvd_max = 0.0
+        if m >= 2:
+            off = np.abs(np.triu(correlation, 1))
+            order = np.dstack(np.unravel_index(np.argsort(-off, axis=None), off.shape))[0]
+            pairs = [(int(i), int(j)) for i, j in order if j > i][:_PROBE_MAX_PAIRS]
+            for i, j in pairs:
+                edges_i = np.asarray(
+                    coarse_edges(margins[i].domain_size, _PROBE_KWAY_BINS)
+                )
+                edges_j = np.asarray(
+                    coarse_edges(margins[j].domain_size, _PROBE_KWAY_BINS)
+                )
+                empirical, _, _ = np.histogram2d(
+                    values[:, i].astype(float),
+                    values[:, j].astype(float),
+                    bins=[edges_i.astype(float), edges_j.astype(float)],
+                )
+                implied = gaussian_copula_pair_probabilities(
+                    margins[i].pmf,
+                    margins[j].pmf,
+                    float(correlation[i, j]),
+                    edges_i,
+                    edges_j,
+                )
+                tvd = 0.5 * float(np.abs(empirical / n - implied).sum())
+                kway_tvd_max = max(kway_tvd_max, tvd)
+
         # Copula misfit: push the sample through the model's own margin
         # CDFs (midpoint PIT) and score uniformity + dependence fit of
         # the resulting pseudo-copula against the released correlation.
@@ -392,6 +443,7 @@ class UtilityProbe:
             "sample_size": n,
             "margin_tvd": margin_tvd,
             "margin_tvd_max": max(margin_tvd.values()) if margin_tvd else 0.0,
+            "kway_tvd_max": kway_tvd_max,
             "tau_error": tau_error,
             "copula_misfit": misfit,
         }
@@ -410,6 +462,9 @@ class UtilityProbe:
             )
         _PROBE_MARGIN_TVD_MAX.set(
             result["margin_tvd_max"], model=model_id, generation=generation
+        )
+        _PROBE_KWAY_TVD_MAX.set(
+            result["kway_tvd_max"], model=model_id, generation=generation
         )
         _PROBE_TAU_ERROR.set(
             result["tau_error"], model=model_id, generation=generation

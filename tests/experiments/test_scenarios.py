@@ -1,0 +1,215 @@
+"""Tests for the scenario suite and the source-materialization helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, Schema
+from repro.experiments.runner import (
+    MAX_DENSE_CELLS,
+    source_as_dataset,
+    utility_evaluation,
+    make_method,
+)
+from repro.experiments.scenarios import (
+    DEFAULT_METHODS,
+    SCENARIOS,
+    list_scenarios,
+    make_scenario,
+    run_scenario,
+)
+from repro.histograms.base import DenseNoisyHistogram, RangeQueryAnswerer
+
+
+class TestCatalog:
+    def test_list_is_sorted_and_complete(self):
+        names = list_scenarios()
+        assert names == sorted(names)
+        assert set(names) == set(SCENARIOS)
+        assert "smoke-mixed" in names and "acs-income" in names
+
+    def test_every_scenario_is_well_formed(self):
+        for name in list_scenarios():
+            scenario = make_scenario(name)
+            schema = scenario.schema
+            # Targets make the ML workload runnable everywhere.
+            assert schema.target in scenario.attribute_names
+            # Dense baselines must be able to participate.
+            assert schema.domain_space() <= MAX_DENSE_CELLS
+            assert scenario.n_records > 0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("does-not-exist")
+
+
+class TestGenerate:
+    def test_deterministic_per_seed(self):
+        scenario = make_scenario("smoke-mixed")
+        first = scenario.generate(7)
+        second = scenario.generate(7)
+        np.testing.assert_array_equal(first.values, second.values)
+        assert not np.array_equal(first.values, scenario.generate(8).values)
+
+    def test_shape_and_schema(self):
+        scenario = make_scenario("smoke-mixed")
+        data = scenario.generate(0)
+        assert data.n_records == scenario.n_records
+        assert data.schema == scenario.schema
+        assert data.schema.target == "flag"
+        for j, size in enumerate(scenario.domain_sizes):
+            assert data.column(j).min() >= 0
+            assert data.column(j).max() < size
+
+
+class TestRunScenario:
+    def test_smoke_scenario_end_to_end(self):
+        result = run_scenario(
+            "smoke-mixed",
+            methods=("dpcopula-kendall", "identity"),
+            epsilon=2.0,
+            seed=0,
+            n_queries=10,
+            marginal_k=2,
+            max_marginals=4,
+        )
+        assert result.scenario == "smoke-mixed"
+        assert [e.method for e in result.evaluations] == [
+            "dpcopula-kendall",
+            "identity",
+        ]
+        for evaluation in result.evaluations:
+            assert np.isfinite(evaluation.range_queries.mean_relative_error)
+            assert 0.0 <= evaluation.marginals.avg_tvd
+            # Every scenario carries a target, so ML scores must exist.
+            assert evaluation.ml is not None
+            assert evaluation.fit_seconds >= 0.0
+
+    def test_unsupported_method_is_skipped_not_fatal(self):
+        # "ug" only accepts 2-D data; smoke-mixed has 4 attributes.
+        result = run_scenario(
+            "smoke-mixed",
+            methods=("ug",),
+            n_queries=5,
+            marginal_k=1,
+            max_marginals=2,
+        )
+        assert result.evaluations == ()
+        assert "ug" in result.skipped
+
+    def test_default_method_roster(self):
+        assert "dpcopula-kendall" in DEFAULT_METHODS
+        assert len(DEFAULT_METHODS) >= 3
+
+    def test_to_dict_round_trips_json(self):
+        result = run_scenario(
+            "smoke-mixed",
+            methods=("dpcopula-kendall",),
+            n_queries=5,
+            marginal_k=1,
+            max_marginals=2,
+        )
+        document = json.loads(json.dumps(result.to_dict()))
+        assert document["scenario"] == "smoke-mixed"
+        (method_doc,) = document["methods"]
+        assert method_doc["method"] == "dpcopula-kendall"
+        assert "range_queries" in method_doc and "marginals" in method_doc
+        assert method_doc["ml"]["target"] == "flag"
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            run_scenario("smoke-mixed", epsilon=0.0)
+
+
+class _ExactAnswerer(RangeQueryAnswerer):
+    """Noise-free answerer backed by true counts (bisection-path probe)."""
+
+    def __init__(self, dataset):
+        self._counts = np.zeros(tuple(a.domain_size for a in dataset.schema))
+        np.add.at(
+            self._counts,
+            tuple(dataset.values[:, j] for j in range(dataset.dimensions)),
+            1.0,
+        )
+
+    def range_count(self, ranges):
+        slices = tuple(slice(lo, hi + 1) for lo, hi in ranges)
+        return float(self._counts[slices].sum())
+
+    @property
+    def dimensions(self):
+        return self._counts.ndim
+
+
+class TestSourceAsDataset:
+    def test_dataset_passes_through_untouched(self):
+        schema = Schema.from_domain_sizes([5, 5])
+        data = Dataset(np.zeros((10, 2), dtype=int), schema)
+        assert source_as_dataset(data, schema, 99, rng=0) is data
+
+    def test_dense_histogram_sampling_respects_domain(self):
+        schema = Schema.from_domain_sizes([6, 4])
+        counts = np.zeros((6, 4))
+        counts[2, 1] = 30.0
+        counts[5, 3] = 10.0
+        sample = source_as_dataset(DenseNoisyHistogram(counts), schema, 400, rng=0)
+        assert sample.n_records == 400
+        assert sample.schema == schema
+        cells = set(map(tuple, sample.values))
+        assert cells <= {(2, 1), (5, 3)}
+        # Cell frequencies track the (normalized) counts.
+        share = np.mean([tuple(row) == (2, 1) for row in sample.values])
+        assert share == pytest.approx(0.75, abs=0.08)
+
+    def test_dense_histogram_with_negative_counts_still_samples(self):
+        schema = Schema.from_domain_sizes([3])
+        histogram = DenseNoisyHistogram(np.array([-5.0, 10.0, -1.0]))
+        sample = source_as_dataset(histogram, schema, 50, rng=1)
+        assert (sample.column(0) == 1).all()
+
+    def test_bisection_sampler_recovers_point_mass(self):
+        schema = Schema.from_domain_sizes([8, 8])
+        data = Dataset(np.full((40, 2), 3), schema)
+        sample = source_as_dataset(_ExactAnswerer(data), schema, 64, rng=2)
+        assert sample.n_records == 64
+        assert (sample.values == 3).all()
+
+    def test_bisection_sampler_tracks_skewed_margin(self):
+        schema = Schema.from_domain_sizes([8])
+        rng = np.random.default_rng(3)
+        values = rng.choice(8, size=(500, 1), p=[0.4, 0.2, 0.1, 0.1, 0.08, 0.06, 0.04, 0.02])
+        data = Dataset(values, schema)
+        sample = source_as_dataset(_ExactAnswerer(data), schema, 4000, rng=4)
+        empirical = np.bincount(sample.column(0), minlength=8) / 4000
+        true = np.bincount(data.column(0), minlength=8) / 500
+        assert 0.5 * np.abs(empirical - true).sum() < 0.05
+
+    def test_unanswerable_source_rejected(self):
+        schema = Schema.from_domain_sizes([4])
+        with pytest.raises(TypeError):
+            source_as_dataset(object(), schema, 10)
+
+
+class TestUtilityEvaluation:
+    def test_ml_omitted_without_target(self):
+        from repro.queries.range_query import random_workload
+        from repro.queries.workloads import all_kway
+
+        schema = Schema.from_domain_sizes([10, 8])
+        rng = np.random.default_rng(0)
+        data = Dataset(rng.integers(0, [10, 8], size=(300, 2)), schema)
+        train, test = data, data
+        evaluation = utility_evaluation(
+            make_method("identity"),
+            train,
+            test,
+            random_workload(schema, 5, rng=1),
+            all_kway(schema, 1),
+            epsilon=1.0,
+            rng=2,
+        )
+        assert evaluation.ml is None
+        assert evaluation.method == "identity"
+        document = json.loads(json.dumps(evaluation.to_dict()))
+        assert document["ml"] is None

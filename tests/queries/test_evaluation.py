@@ -101,6 +101,18 @@ class TestEvaluateWorkload:
         with pytest.raises(TypeError):
             evaluate_workload(42, workload, small_dataset)
 
+    def test_empty_workload_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="empty workload"):
+            evaluate_workload(small_dataset, [], small_dataset)
+
+    def test_sanity_bound_boundary_is_exact(self):
+        # actual == sanity_bound: the denominator is exactly that value,
+        # from either side of the max().
+        assert relative_error(6.0, 5.0, sanity_bound=5.0) == pytest.approx(0.2)
+        assert relative_error(6.0, 5.0 + 1e-9, sanity_bound=5.0) == (
+            pytest.approx(abs(6.0 - (5.0 + 1e-9)) / (5.0 + 1e-9))
+        )
+
     def test_str_representation(self, small_dataset):
         workload = random_workload(small_dataset.schema, 3, rng=8)
         evaluation = evaluate_workload(small_dataset, workload, small_dataset)

@@ -56,6 +56,29 @@ class TestMarginMetrics:
             margin_tvd(small_dataset, synthetic_4d, 0)
 
 
+class TestMarginEdgeCases:
+    def test_zero_count_values_contribute_nothing(self):
+        # Both datasets leave value 3 empty: TVD must ignore the shared
+        # zero-count cell rather than producing NaN from 0/0 anywhere.
+        from repro.data.dataset import Schema
+
+        schema = Schema.from_domain_sizes([4])
+        left = Dataset(np.array([[0], [0], [1]]), schema)
+        right = Dataset(np.array([[0], [1], [1]]), schema)
+        tvd = margin_tvd(left, right, 0)
+        assert tvd == pytest.approx(1.0 / 3.0)
+        assert np.isfinite(tvd)
+
+    def test_fully_concentrated_vs_uniform(self):
+        from repro.data.dataset import Schema
+
+        schema = Schema.from_domain_sizes([4])
+        point = Dataset(np.zeros((8, 1), dtype=int), schema)
+        uniform = Dataset(np.arange(8).reshape(-1, 1) % 4, schema)
+        # TVD between a point mass and uniform over 4 values: 3/4.
+        assert margin_tvd(point, uniform, 0) == pytest.approx(0.75)
+
+
 class TestDependenceMetrics:
     def test_shuffling_breaks_dependence(self, synthetic_4d):
         shuffled = _shuffle_column(synthetic_4d, 0, seed=0)

@@ -1,0 +1,138 @@
+"""Tests for the train-on-synthetic / test-on-real ML harness."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, Schema
+from repro.queries.ml_utility import ml_utility, train_test_split
+
+
+def _labelled_dataset(n=600, seed=0, noise=0.1):
+    """A dataset whose target is predictable from the features."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 20, n)
+    y = rng.integers(0, 10, n)
+    label = ((x >= 10).astype(int) ^ (rng.random(n) < noise)).astype(int)
+    schema = Schema.from_domain_sizes([20, 10, 2]).with_target("A2")
+    return Dataset(np.column_stack([x, y, label]), schema)
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_determinism(self):
+        data = _labelled_dataset()
+        train_a, test_a = train_test_split(data, 0.25, rng=3)
+        train_b, test_b = train_test_split(data, 0.25, rng=3)
+        assert train_a.n_records == 450 and test_a.n_records == 150
+        np.testing.assert_array_equal(train_a.values, train_b.values)
+        np.testing.assert_array_equal(test_a.values, test_b.values)
+
+    def test_partition_is_exact(self):
+        data = _labelled_dataset(n=100)
+        train, test = train_test_split(data, 0.3, rng=0)
+        combined = np.vstack([train.values, test.values])
+        assert sorted(map(tuple, combined)) == sorted(map(tuple, data.values))
+
+    def test_schema_target_survives(self):
+        data = _labelled_dataset()
+        train, test = train_test_split(data, 0.25, rng=0)
+        assert train.schema.target == "A2"
+        assert test.schema.target == "A2"
+
+    def test_rejects_degenerate_fractions(self):
+        data = _labelled_dataset(n=10)
+        with pytest.raises(ValueError):
+            train_test_split(data, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(data, 1.0)
+
+
+class TestMLUtility:
+    def test_bitwise_deterministic(self):
+        data = _labelled_dataset()
+        train, test = train_test_split(data, 0.25, rng=1)
+        synthetic, _ = train_test_split(data, 0.5, rng=9)
+        first = ml_utility(train, test, synthetic)
+        second = ml_utility(train, test, synthetic)
+        # Same seed -> bitwise-identical deltas (no hidden random state).
+        assert first == second
+        for a, b in zip(first.scores, second.scores):
+            assert a.accuracy_delta == b.accuracy_delta
+            assert a.auc_delta == b.auc_delta
+
+    def test_perfect_synthetic_has_zero_delta(self):
+        data = _labelled_dataset()
+        train, test = train_test_split(data, 0.25, rng=2)
+        report = ml_utility(train, test, synthetic=train)
+        assert report.worst_accuracy_delta == 0.0
+        for score in report.scores:
+            assert score.auc_delta == 0.0
+
+    def test_learnable_target_beats_chance(self):
+        data = _labelled_dataset(noise=0.05)
+        train, test = train_test_split(data, 0.25, rng=3)
+        report = ml_utility(train, test, train)
+        by_model = {score.model: score for score in report.scores}
+        assert by_model["logistic"].real_accuracy > 0.85
+        assert by_model["logistic"].real_auc > 0.85
+        # A stump sees one one-hot bucket, so only modest lift is possible.
+        assert by_model["stump"].real_accuracy > 0.55
+
+    def test_label_shuffled_synthetic_scores_worse(self):
+        data = _labelled_dataset(noise=0.05)
+        train, test = train_test_split(data, 0.25, rng=4)
+        shuffled_values = train.values.copy()
+        rng = np.random.default_rng(11)
+        shuffled_values[:, 2] = rng.permutation(shuffled_values[:, 2])
+        shuffled = Dataset(shuffled_values, train.schema)
+        report = ml_utility(train, test, shuffled)
+        # Breaking the feature-label dependence must cost real accuracy.
+        assert report.worst_accuracy_delta > 0.2
+
+    def test_explicit_target_overrides_annotation(self):
+        data = _labelled_dataset()
+        train, test = train_test_split(data, 0.25, rng=5)
+        report = ml_utility(train, test, train, target="A0")
+        assert report.target == "A0"
+
+    def test_missing_target_raises(self):
+        schema = Schema.from_domain_sizes([20, 10, 2])
+        rng = np.random.default_rng(0)
+        data = Dataset(rng.integers(0, [20, 10, 2], (100, 3)), schema)
+        train, test = train_test_split(data, 0.25, rng=0)
+        with pytest.raises(ValueError, match="no target attribute"):
+            ml_utility(train, test, train)
+
+    def test_schema_mismatch_rejected(self):
+        data = _labelled_dataset()
+        train, test = train_test_split(data, 0.25, rng=6)
+        other = Dataset(
+            np.zeros((10, 2), dtype=int), Schema.from_domain_sizes([5, 5])
+        )
+        with pytest.raises(ValueError, match="schema"):
+            ml_utility(train, test, other)
+
+    def test_unknown_model_rejected(self):
+        data = _labelled_dataset()
+        train, test = train_test_split(data, 0.25, rng=7)
+        with pytest.raises(ValueError, match="unknown model"):
+            ml_utility(train, test, train, models=("forest",))
+
+    def test_single_class_test_set_gets_neutral_auc(self):
+        data = _labelled_dataset()
+        train, _ = train_test_split(data, 0.25, rng=8)
+        constant = train.values.copy()
+        constant[:, 2] = 0
+        test = Dataset(constant[:50], train.schema)
+        report = ml_utility(train, test, train)
+        for score in report.scores:
+            assert score.real_auc == 0.5
+            assert score.synthetic_auc == 0.5
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        data = _labelled_dataset(n=200)
+        train, test = train_test_split(data, 0.25, rng=9)
+        document = json.loads(json.dumps(ml_utility(train, test, train).to_dict()))
+        assert document["target"] == "A2"
+        assert [m["model"] for m in document["models"]] == ["logistic", "stump"]

@@ -102,6 +102,11 @@ class TestUtilityProbe:
         assert model_a["tau_error"] == model_b["tau_error"]
         assert model_a["copula_misfit"] == model_b["copula_misfit"]
         assert 0.0 <= model_a["margin_tvd_max"] <= 1.0
+        # The two-way probe compares the sample's empirical pair tables
+        # against the copula-implied distributions; a healthy model on
+        # its own sample should sit well inside [0, 1].
+        assert model_a["kway_tvd_max"] == model_b["kway_tvd_max"]
+        assert 0.0 <= model_a["kway_tvd_max"] <= 1.0
 
     def test_run_once_publishes_gauges_and_persists(
         self, tmp_path, registry_with_model
@@ -115,6 +120,12 @@ class TestUtilityProbe:
                 model=model_id, generation=generation
             )
             == document["models"][0]["margin_tvd_max"]
+        )
+        assert (
+            REGISTRY.get("dpcopula_probe_kway_tvd_max").value(
+                model=model_id, generation=generation
+            )
+            == document["models"][0]["kway_tvd_max"]
         )
         persisted = load_probe_document(tmp_path / "obs")
         assert persisted == document

@@ -111,3 +111,67 @@ class TestMLEMatrix:
     def test_rejects_1d(self):
         with pytest.raises(ValueError):
             copula_mle_matrix(np.array([0.5, 0.5]))
+
+
+class TestBivariateNormalCdf:
+    def test_matches_scipy_reference(self):
+        from scipy import stats as sps
+
+        from repro.stats.copula_math import bivariate_normal_cdf
+
+        grid = [-2.0, -0.5, 0.0, 0.7, 1.5]
+        for rho in (-0.8, -0.3, 0.2, 0.6, 0.95):
+            dist = sps.multivariate_normal(
+                mean=[0.0, 0.0], cov=[[1.0, rho], [rho, 1.0]]
+            )
+            for h in grid:
+                for k in grid:
+                    assert bivariate_normal_cdf(h, k, rho) == pytest.approx(
+                        float(dist.cdf([h, k])), abs=1e-6
+                    )
+
+    def test_independence_factorizes(self):
+        from scipy import stats as sps
+
+        from repro.stats.copula_math import bivariate_normal_cdf
+
+        h, k = 0.4, -1.1
+        assert bivariate_normal_cdf(h, k, 0.0) == pytest.approx(
+            sps.norm.cdf(h) * sps.norm.cdf(k), abs=1e-12
+        )
+
+    def test_comonotone_and_antitone_limits(self):
+        from scipy import stats as sps
+
+        from repro.stats.copula_math import bivariate_normal_cdf
+
+        h, k = 0.3, -0.2
+        assert bivariate_normal_cdf(h, k, 1.0) == pytest.approx(
+            min(sps.norm.cdf(h), sps.norm.cdf(k))
+        )
+        assert bivariate_normal_cdf(h, k, -1.0) == pytest.approx(
+            max(sps.norm.cdf(h) + sps.norm.cdf(k) - 1.0, 0.0)
+        )
+
+    def test_symmetric_in_arguments(self):
+        from repro.stats.copula_math import bivariate_normal_cdf
+
+        assert bivariate_normal_cdf(0.7, -0.4, 0.5) == pytest.approx(
+            bivariate_normal_cdf(-0.4, 0.7, 0.5), abs=1e-14
+        )
+
+    def test_broadcasts_and_is_bitwise_deterministic(self):
+        from repro.stats.copula_math import bivariate_normal_cdf
+
+        h = np.linspace(-2, 2, 5)
+        k = np.linspace(-1, 1, 5)
+        first = bivariate_normal_cdf(h, k, 0.42)
+        second = bivariate_normal_cdf(h, k, 0.42)
+        assert first.shape == (5,)
+        np.testing.assert_array_equal(first, second)
+
+    def test_rejects_rho_out_of_range(self):
+        from repro.stats.copula_math import bivariate_normal_cdf
+
+        with pytest.raises(ValueError):
+            bivariate_normal_cdf(0.0, 0.0, 1.5)

@@ -332,3 +332,82 @@ class TestInspect:
         main(["inspect", str(input_path), "--json"])
         printed = json.loads(capsys.readouterr().out)
         assert printed == dataset_summary(original)
+
+
+class TestEvaluate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["evaluate", "--scenario", "smoke-mixed"])
+        assert args.epsilon == 1.0
+        assert args.marginal_k == 3
+        assert args.queries == 60
+        assert args.list is False
+
+    def test_list_prints_catalog(self, capsys):
+        assert main(["evaluate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke-mixed" in out
+        assert "acs-income" in out
+        assert "target=" in out
+
+    def test_scenario_required_without_list(self, capsys):
+        assert main(["evaluate"]) == 2
+        assert "--scenario is required" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["evaluate", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        import json as json_module
+
+        output = tmp_path / "report.json"
+        code = main(
+            [
+                "evaluate",
+                "--scenario",
+                "smoke-mixed",
+                "--methods",
+                "dpcopula-kendall,identity",
+                "--queries",
+                "10",
+                "--marginal-k",
+                "2",
+                "--max-marginals",
+                "4",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Rendered table names both competitors.
+        assert "dpcopula-kendall" in out and "identity" in out
+        document = json_module.loads(output.read_text())
+        assert document["scenario"] == "smoke-mixed"
+        assert [m["method"] for m in document["methods"]] == [
+            "dpcopula-kendall",
+            "identity",
+        ]
+
+    def test_json_flag_prints_document(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--scenario",
+                "smoke-mixed",
+                "--methods",
+                "dpcopula-kendall",
+                "--queries",
+                "5",
+                "--marginal-k",
+                "1",
+                "--max-marginals",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        import json as json_module
+
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["epsilon"] == 1.0

@@ -11,6 +11,7 @@ import repro.dp.budget
 import repro.dp.mechanisms
 import repro.dp.sensitivity
 import repro.experiments.plotting
+import repro.queries.evaluation
 import repro.utils
 
 MODULES_WITH_DOCTESTS = [
@@ -21,6 +22,7 @@ MODULES_WITH_DOCTESTS = [
     repro.experiments.plotting,
     repro.core.streaming,
     repro.data.discretize,
+    repro.queries.evaluation,
 ]
 
 
